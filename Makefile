@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark suite: regenerates every paper figure plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x ./...
+
+# Print the paper's figures as tables (repeats=3; raise for tighter curves).
+figures:
+	$(GO) run ./cmd/mecsim -fig 3
+	$(GO) run ./cmd/mecsim -fig 4
+	$(GO) run ./cmd/mecsim -fig 5
+	$(GO) run ./cmd/mecsim -fig 6
+	$(GO) run ./cmd/mecsim -fig 7
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/flashcrowd
+	$(GO) run ./examples/as1755
+	$(GO) run ./examples/forecastbench
+	$(GO) run ./examples/failures
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GAN training in -short mode")
+	}
+	args := []string{"-pretrain", "5", "-adv", "2", "-hidden", "4", "-series", "2", "-length", "20"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-hidden", "0", "-pretrain", "1", "-adv", "0"}); err == nil {
+		t.Error("hidden=0 accepted")
+	}
+}
+
+func TestPrintCurveEmpty(t *testing.T) {
+	printCurve(nil, 5) // must not panic
+}
+
+func TestRepeat(t *testing.T) {
+	if repeat('#', 3) != "###" {
+		t.Error("repeat wrong")
+	}
+	if repeat('#', -1) != "" {
+		t.Error("negative repeat wrong")
+	}
+}

@@ -1,0 +1,191 @@
+// Command mecsim runs the paper's experiments and ad-hoc policy comparisons.
+//
+// Reproduce a figure (prints the series the paper plots):
+//
+//	mecsim -fig 3 -repeats 3 -slots 100
+//	mecsim -fig 6 -csv            # CSV output for plotting
+//
+// Ad-hoc comparison:
+//
+//	mecsim -compare OL_GD,Greedy_GD,Pri_GD -stations 100 -slots 100
+//	mecsim -compare OL_GAN,OL_Reg -hidden -topology as1755
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/mecsim/l4e"
+	"github.com/mecsim/l4e/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mecsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mecsim", flag.ContinueOnError)
+	var (
+		fig         = fs.Int("fig", 0, "reproduce paper figure N (3-7)")
+		repeats     = fs.Int("repeats", 3, "topology draws averaged per data point (paper: 80)")
+		slots       = fs.Int("slots", 100, "time slots per run")
+		seed        = fs.Int64("seed", 1, "base random seed")
+		smooth      = fs.Int("smooth", 5, "moving-average window for per-slot series")
+		csv         = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel    = fs.Bool("parallel", false, "run topology repeats concurrently (distorts runtime panels)")
+		compare     = fs.String("compare", "", "comma-separated policy names for an ad-hoc comparison")
+		stations    = fs.Int("stations", 100, "GT-ITM network size for -compare")
+		topo        = fs.String("topology", "gt-itm", "topology for -compare: gt-itm or as1755")
+		hidden      = fs.Bool("hidden", false, "hide bursty demands from policies (Figs. 6-7 setting)")
+		regret      = fs.Bool("regret", false, "track regret against a shadow oracle (-compare only)")
+		exportTrace = fs.String("export-trace", "", "write the scenario's demand trace to a CSV file and exit")
+		list        = fs.Bool("list", false, "list known policies and figures")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *exportTrace != "":
+		return runExportTrace(*exportTrace, *stations, *topo, *slots, *seed)
+	case *list:
+		fmt.Println("policies:", strings.Join(l4e.PolicyNames(), ", "))
+		fmt.Println("figures: fig3 fig4 fig5 fig6 fig7")
+		return nil
+	case *fig != 0:
+		return runFigure(*fig, l4e.ExperimentConfig{
+			Repeats: *repeats, Slots: *slots, Seed: *seed, SmoothWindow: *smooth,
+			Parallel: *parallel,
+		}, *csv)
+	case *compare != "":
+		return runCompare(*compare, *stations, *topo, *slots, *seed, *hidden, *regret)
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -fig N, -compare A,B, or -list")
+	}
+}
+
+// runExportTrace writes the scenario's workload trace as CSV for archiving
+// or substitution with a real measured trace.
+func runExportTrace(path string, stations int, topoName string, slots int, seed int64) error {
+	opts := []l4e.ScenarioOption{l4e.WithStations(stations), l4e.WithSeed(seed), l4e.WithSlots(slots)}
+	if topoName == "as1755" {
+		opts = append(opts, l4e.WithTopology(l4e.TopologyAS1755))
+	}
+	s, err := l4e.NewScenario(opts...)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.Workload.WriteTraceCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d-slot trace for %d requests to %s\n",
+		s.Workload.Config.Horizon, len(s.Workload.Requests), path)
+	return nil
+}
+
+func runFigure(n int, cfg l4e.ExperimentConfig, csv bool) error {
+	key := fmt.Sprintf("fig%d", n)
+	runner, ok := l4e.Figures()[key]
+	if !ok {
+		return fmt.Errorf("unknown figure %d (have 3-7)", n)
+	}
+	res, err := runner(cfg)
+	if err != nil {
+		return err
+	}
+	for _, tab := range res.Tables {
+		var out string
+		if csv {
+			out, err = tab.CSV()
+		} else {
+			out, err = tab.Render()
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	return nil
+}
+
+func runCompare(names string, stations int, topoName string, slots int, seed int64, hidden, regret bool) error {
+	opts := []l4e.ScenarioOption{
+		l4e.WithStations(stations),
+		l4e.WithSeed(seed),
+		l4e.WithSlots(slots),
+		l4e.WithDemandsGiven(!hidden),
+	}
+	switch topoName {
+	case "gt-itm":
+		opts = append(opts, l4e.WithTopology(l4e.TopologyGTITM))
+	case "as1755":
+		opts = append(opts, l4e.WithTopology(l4e.TopologyAS1755), l4e.WithAccessLatency(true))
+	default:
+		return fmt.Errorf("unknown topology %q", topoName)
+	}
+	s, err := l4e.NewScenario(opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network %s: %d stations; %d requests, %d services, %d slots; demands %s\n",
+		s.Net.Name, s.Net.NumStations(), len(s.Workload.Requests), len(s.Workload.Services),
+		slots, map[bool]string{true: "hidden", false: "given"}[hidden])
+	fmt.Printf("%-16s %14s %16s %14s %10s\n", "policy", "avg delay(ms)", "total runtime(ms)", "overload slots", "regret")
+	var results []*l4e.Result
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		p, err := s.NewPolicy(name)
+		if err != nil {
+			return err
+		}
+		var res *l4e.Result
+		if regret {
+			res, err = s.RunWithRegret(p)
+		} else {
+			res, err = s.Run(p)
+		}
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		reg := "-"
+		if res.Regret != nil {
+			reg = fmt.Sprintf("%.1f", res.Regret.Cumulative())
+		}
+		fmt.Printf("%-16s %14.3f %16.1f %14d %10s\n",
+			res.Policy, res.AvgDelayMS, res.TotalRuntimeMS, res.OverloadSlots, reg)
+	}
+	// Significance of the first policy's per-slot delay advantage over each
+	// competitor (Welch's t-test over the paired slot series).
+	if len(results) > 1 {
+		fmt.Println()
+		for _, other := range results[1:] {
+			tStat, pVal, err := metrics.WelchTTest(results[0].PerSlotDelayMS, other.PerSlotDelayMS)
+			if err != nil {
+				return err
+			}
+			verdict := "not significant"
+			if pVal < 0.05 {
+				if tStat < 0 {
+					verdict = "significantly LOWER"
+				} else {
+					verdict = "significantly HIGHER"
+				}
+			}
+			fmt.Printf("%s vs %s: t=%.2f p=%.4f (%s delay, alpha=0.05)\n",
+				results[0].Policy, other.Policy, tStat, pVal, verdict)
+		}
+	}
+	return nil
+}

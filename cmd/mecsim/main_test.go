@@ -1,0 +1,69 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunUnknownTopology(t *testing.T) {
+	if err := run([]string{"-compare", "OL_GD", "-topology", "mars"}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestRunUnknownPolicy(t *testing.T) {
+	if err := run([]string{"-compare", "NOPE", "-stations", "10", "-slots", "2"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunCompareSmall(t *testing.T) {
+	args := []string{"-compare", "Greedy_GD,Pri_GD", "-stations", "12", "-slots", "3", "-seed", "2"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCompareRegret(t *testing.T) {
+	args := []string{"-compare", "OL_GD", "-stations", "12", "-slots", "3", "-regret"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigureTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run in -short mode")
+	}
+	args := []string{"-fig", "3", "-repeats", "1", "-slots", "5", "-smooth", "1"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	// CSV path.
+	args = append(args, "-csv")
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExportTrace(t *testing.T) {
+	path := t.TempDir() + "/trace.csv"
+	if err := run([]string{"-export-trace", path, "-stations", "12", "-slots", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Command topogen generates and inspects MEC network topologies: tier
+// composition, degree distribution, connectivity, coverage, capacity, and
+// bottleneck links. Useful for sanity-checking the experiment substrate.
+//
+//	topogen -n 100 -seed 1          # GT-ITM synthetic topology
+//	topogen -topology as1755        # embedded AS1755-like real topology
+//	topogen -n 100 -dot             # Graphviz DOT output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/mecsim/l4e/internal/mec"
+	"github.com/mecsim/l4e/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	var (
+		n    = fs.Int("n", 100, "number of stations (GT-ITM)")
+		seed = fs.Int64("seed", 1, "random seed")
+		topo = fs.String("topology", "gt-itm", "gt-itm or as1755")
+		p    = fs.Float64("p", 0.1, "pairwise connection probability (GT-ITM)")
+		dot  = fs.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		net *mec.Network
+		err error
+	)
+	switch *topo {
+	case "gt-itm":
+		net, err = topology.GTITM(*n, *seed, topology.WithConnectProb(*p))
+	case "as1755":
+		net, err = topology.AS1755(*seed)
+	default:
+		return fmt.Errorf("unknown topology %q", *topo)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *dot {
+		return emitDOT(net)
+	}
+	return printStats(net)
+}
+
+func printStats(net *mec.Network) error {
+	fmt.Printf("topology %s: %d stations, %d links, connected=%v\n",
+		net.Name, net.NumStations(), len(net.Links), topology.IsConnected(net))
+
+	tiers := map[mec.Class]int{}
+	var capTotal float64
+	degrees := make([]int, net.NumStations())
+	for i := range net.Stations {
+		tiers[net.Stations[i].Class]++
+		capTotal += net.Stations[i].CapacityMHz
+		degrees[i] = net.Degree(i)
+	}
+	fmt.Printf("tiers: %d macro, %d micro, %d femto\n", tiers[mec.Macro], tiers[mec.Micro], tiers[mec.Femto])
+	fmt.Printf("total compute capacity: %.0f MHz\n", capTotal)
+
+	sort.Ints(degrees)
+	fmt.Printf("degree: min %d, median %d, max %d\n",
+		degrees[0], degrees[len(degrees)/2], degrees[len(degrees)-1])
+
+	// Bottleneck links: bandwidth <= 300 Mbps (the AS1755 regional uplinks).
+	bottlenecks := 0
+	for _, l := range net.Links {
+		if l.BandwidthMbps <= 300 {
+			bottlenecks++
+		}
+	}
+	fmt.Printf("bottleneck links (<= 300 Mbps): %d\n", bottlenecks)
+
+	// Per-class hidden delay means (ground truth the learners must find).
+	fmt.Println("\nhidden unit-delay means by tier:")
+	for _, c := range []mec.Class{mec.Macro, mec.Micro, mec.Femto} {
+		var lo, hi, sum float64
+		count := 0
+		lo = 1e18
+		for i := range net.Stations {
+			if net.Stations[i].Class != c {
+				continue
+			}
+			m := net.Stations[i].Delay.Mean
+			if m < lo {
+				lo = m
+			}
+			if m > hi {
+				hi = m
+			}
+			sum += m
+			count++
+		}
+		if count > 0 {
+			fmt.Printf("  %-6s n=%-4d mean %.2f ms, range [%.2f, %.2f]\n", c, count, sum/float64(count), lo, hi)
+		}
+	}
+	return nil
+}
+
+func emitDOT(net *mec.Network) error {
+	fmt.Println("graph mec {")
+	fmt.Println("  layout=neato; node [shape=point];")
+	for i := range net.Stations {
+		s := &net.Stations[i]
+		color := map[mec.Class]string{
+			mec.Macro: "red", mec.Micro: "orange", mec.Femto: "blue",
+		}[s.Class]
+		fmt.Printf("  n%d [pos=\"%.1f,%.1f!\", color=%s];\n", i, s.X/30, s.Y/30, color)
+	}
+	for _, l := range net.Links {
+		style := ""
+		if l.BandwidthMbps <= 300 {
+			style = " [color=gray, style=dashed]"
+		}
+		fmt.Printf("  n%d -- n%d%s;\n", l.A, l.B, style)
+	}
+	fmt.Println("}")
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunGTITM(t *testing.T) {
+	if err := run([]string{"-n", "30", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAS1755(t *testing.T) {
+	if err := run([]string{"-topology", "as1755"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	if err := run([]string{"-n", "20", "-dot"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-topology", "nope"}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run([]string{"-n", "1"}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if err := run([]string{"-n", "20", "-p", "2"}); err == nil {
+		t.Error("p=2 accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package l4e_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/mecsim/l4e"
+)
+
+// ExampleNewScenario builds a small scenario and runs one policy.
+func ExampleNewScenario() {
+	scenario, err := l4e.NewScenario(
+		l4e.WithStations(15),
+		l4e.WithSeed(1),
+		l4e.WithSlots(5),
+		l4e.WithWorkloadConfig(l4e.WorkloadConfig{
+			NumRequests: 8, NumServices: 2, Horizon: 5, NumClusters: 2,
+			BasicDemandMin: 1, BasicDemandMax: 2, BurstScale: 3,
+			BurstOnProb: 0.1, BurstStayProb: 0.7, CUnit: 40,
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := scenario.NewPolicy("Greedy_GD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := scenario.Run(policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(result.Policy, len(result.PerSlotDelayMS), "slots")
+	// Output: Greedy_GD 5 slots
+}
+
+// ExampleScenario_Compare runs two policies over identical slot conditions.
+func ExampleScenario_Compare() {
+	scenario, err := l4e.NewScenario(
+		l4e.WithStations(15),
+		l4e.WithSeed(2),
+		l4e.WithSlots(5),
+		l4e.WithWorkloadConfig(l4e.WorkloadConfig{
+			NumRequests: 8, NumServices: 2, Horizon: 5, NumClusters: 2,
+			BasicDemandMin: 1, BasicDemandMax: 2, BurstScale: 3,
+			BurstOnProb: 0.1, BurstStayProb: 0.7, CUnit: 40,
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := scenario.Compare("Greedy_GD", "Pri_GD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Println(r.Policy)
+	}
+	// Output:
+	// Greedy_GD
+	// Pri_GD
+}
+
+// ExamplePolicyNames lists the available algorithms.
+func ExamplePolicyNames() {
+	names := l4e.PolicyNames()
+	fmt.Println(names[0], names[1], names[2])
+	// Output: OL_GD Greedy_GD Pri_GD
+}

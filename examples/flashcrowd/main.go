@@ -1,0 +1,65 @@
+// Flashcrowd: the paper's motivating scenario — a museum's VR service
+// suddenly attracts a crowd, and the per-request data volumes burst far
+// beyond their basic demands. Demands are HIDDEN from the operator, who must
+// predict them. This example pits the Info-RNN-GAN predictor (OL_GAN,
+// Algorithm 2) against the ARMA baseline (OL_Reg) on a deliberately bursty
+// workload and reports the post-warmup delay gap and the overload slots each
+// policy caused by under-predicting bursts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/mecsim/l4e"
+)
+
+func main() {
+	// A bursty workload: few clusters (crowds gather at few venues), large
+	// burst volumes, sticky burst regimes.
+	wcfg := l4e.WorkloadConfig{
+		NumRequests:    50,
+		NumServices:    6,
+		Horizon:        100,
+		NumClusters:    4,
+		BasicDemandMin: 2,
+		BasicDemandMax: 5,
+		BurstScale:     10,
+		BurstOnProb:    0.07,
+		BurstStayProb:  0.8,
+		CUnit:          40,
+	}
+	scenario, err := l4e.NewScenario(
+		l4e.WithStations(100),
+		l4e.WithSeed(7),
+		l4e.WithDemandsGiven(false), // bursty volumes are not known in advance
+		l4e.WithWorkloadConfig(wcfg),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("flash-crowd scenario: demands hidden, bursts cluster-correlated")
+	fmt.Printf("peak compute demand %.0f MHz vs network capacity %.0f MHz\n\n",
+		scenario.Workload.PeakComputeDemand(), scenario.Net.TotalCapacity())
+
+	results, err := scenario.Compare("OL_GAN", "OL_Reg")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const warmup = 30 // OL_GAN trains its GAN after this many slots
+	fmt.Printf("%-8s %18s %18s %16s\n", "policy", "avg delay (ms)", "post-warmup (ms)", "overload slots")
+	for _, r := range results {
+		tail := r.PerSlotDelayMS[warmup:]
+		total := 0.0
+		for _, d := range tail {
+			total += d
+		}
+		fmt.Printf("%-8s %18.2f %18.2f %16d\n",
+			r.Policy, r.AvgDelayMS, total/float64(len(tail)), r.OverloadSlots)
+	}
+	fmt.Println("\nOL_GAN conditions on current-slot hotspot occupancy (the latent code")
+	fmt.Println("c^t of the paper), so it anticipates burst onsets that volume-only")
+	fmt.Println("ARMA can only react to one slot late.")
+}

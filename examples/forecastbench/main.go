@@ -1,0 +1,136 @@
+// Forecastbench: a standalone comparison of the demand predictors on a
+// synthetic bursty series — the Info-RNN-GAN (with and without the
+// hidden-feature channel) against ARMA (Eq. 27), last-value, and
+// moving-average baselines. Prints one-step-ahead MAE and RMSE on a held-out
+// continuation, reproducing the prediction-quality argument behind the
+// paper's Fig. 6.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"github.com/mecsim/l4e/internal/forecast"
+	"github.com/mecsim/l4e/internal/gan"
+)
+
+// genSeries produces a Markov-regime bursty volume series with an observable
+// occupancy feature correlated with the hidden regime.
+func genSeries(rng *rand.Rand, n int) (vols []float64, feats [][]float64) {
+	vols = make([]float64, n)
+	feats = make([][]float64, n)
+	burst := false
+	for i := range vols {
+		if burst {
+			burst = rng.Float64() < 0.8
+		} else {
+			burst = rng.Float64() < 0.1
+		}
+		occ := 1 + rng.NormFloat64()*0.3
+		if burst {
+			vols[i] = 12 + rng.NormFloat64()*0.6
+			occ += 2
+		} else {
+			vols[i] = 2 + rng.NormFloat64()*0.4
+		}
+		feats[i] = []float64{occ}
+	}
+	return vols, feats
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+
+	// Small-sample training data: four short series (the paper's regime).
+	var samples, blindSamples []gan.Sample
+	for i := 0; i < 4; i++ {
+		v, f := genSeries(rng, 60)
+		samples = append(samples, gan.Sample{Volumes: v, Features: f, Code: 0})
+		blindSamples = append(blindSamples, gan.Sample{Volumes: v, Code: 0})
+	}
+	test, testFeats := genSeries(rng, 200)
+
+	// Feature-conditioned Info-RNN-GAN.
+	cfgF := gan.DefaultConfig(1)
+	cfgF.Seed = 5
+	withFeat, err := gan.New(cfgF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := withFeat.Train(samples); err != nil {
+		log.Fatal(err)
+	}
+
+	// Volume-only Info-RNN-GAN (ablation: no hidden-feature channel).
+	cfgB := gan.DefaultConfig(1)
+	cfgB.FeatureDim = 0
+	cfgB.Seed = 5
+	blind, err := gan.New(cfgB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := blind.Train(blindSamples); err != nil {
+		log.Fatal(err)
+	}
+
+	arma, err := forecast.NewARMA(4, test[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive := forecast.NewNaive(test[0])
+	ma, err := forecast.NewMovingAverage(5, test[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type tracker struct {
+		name      string
+		mae, rmse float64
+	}
+	stats := []*tracker{
+		{name: "Info-RNN-GAN (c^t features)"},
+		{name: "Info-RNN-GAN (volumes only)"},
+		{name: "ARMA(4) [OL_Reg, Eq. 27]"},
+		{name: "last value"},
+		{name: "moving average(5)"},
+	}
+	record := func(tk *tracker, pred, actual float64) {
+		d := pred - actual
+		tk.mae += math.Abs(d)
+		tk.rmse += d * d
+	}
+
+	n := 0
+	for i := range test {
+		if i >= 10 {
+			pf, err := withFeat.Predict(test[:i], testFeats[:i+1], 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pb, err := blind.Predict(test[:i], nil, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			record(stats[0], pf, test[i])
+			record(stats[1], pb, test[i])
+			record(stats[2], arma.Predict(), test[i])
+			record(stats[3], naive.Predict(), test[i])
+			record(stats[4], ma.Predict(), test[i])
+			n++
+		}
+		arma.Observe(test[i])
+		naive.Observe(test[i])
+		ma.Observe(test[i])
+	}
+
+	fmt.Printf("one-step-ahead forecasting on a held-out bursty series (%d points)\n\n", n)
+	fmt.Printf("%-30s %10s %10s\n", "predictor", "MAE", "RMSE")
+	for _, tk := range stats {
+		fmt.Printf("%-30s %10.3f %10.3f\n", tk.name, tk.mae/float64(n), math.Sqrt(tk.rmse/float64(n)))
+	}
+	fmt.Println("\nThe feature-conditioned GAN sees current-slot occupancy (the paper's")
+	fmt.Println("latent code c^t) and anticipates regime switches; every volume-only")
+	fmt.Println("predictor must lag them by at least one slot.")
+}

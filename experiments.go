@@ -1,0 +1,356 @@
+package l4e
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/mecsim/l4e/internal/metrics"
+	"github.com/mecsim/l4e/internal/workload"
+)
+
+// Table re-exports the figure-series table type.
+type Table = metrics.Table
+
+// ExperimentConfig controls figure reproduction runs.
+type ExperimentConfig struct {
+	// Repeats is the number of topology draws averaged per data point (the
+	// paper uses 80; the default here is 3 to keep laptop runs quick —
+	// raise it with the CLI's -repeats flag for tighter curves).
+	Repeats int
+	// Slots is the simulated horizon (paper: 100).
+	Slots int
+	// Seed is the base seed; repeat r uses Seed + r.
+	Seed int64
+	// SmoothWindow smooths per-slot delay series for readability (1 = raw).
+	SmoothWindow int
+	// Parallel runs topology repeats concurrently. It speeds up delay
+	// curves but lets repeats contend for CPU, inflating the wall-clock
+	// running-time panels; leave it off when runtime fidelity matters.
+	Parallel bool
+}
+
+// DefaultExperimentConfig returns laptop-friendly settings.
+func DefaultExperimentConfig() ExperimentConfig {
+	return ExperimentConfig{Repeats: 3, Slots: 100, Seed: 1, SmoothWindow: 5}
+}
+
+func (c *ExperimentConfig) normalize() {
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+	if c.Slots <= 0 {
+		c.Slots = 100
+	}
+	if c.SmoothWindow <= 0 {
+		c.SmoothWindow = 1
+	}
+}
+
+// FigureResult bundles the panels of one paper figure.
+type FigureResult struct {
+	// Name identifies the figure ("Fig3", ...).
+	Name string
+	// Tables holds one table per panel ((a) average delay, (b) running
+	// time, ...), each directly comparable to the paper's plot.
+	Tables []*Table
+}
+
+// Render formats every panel.
+func (f *FigureResult) Render() (string, error) {
+	out := ""
+	for _, t := range f.Tables {
+		s, err := t.Render()
+		if err != nil {
+			return "", err
+		}
+		out += s + "\n"
+	}
+	return out, nil
+}
+
+// seriesExperiment runs the named policies over Repeats same-size scenarios
+// and returns per-slot delay and runtime series averaged across repeats.
+// Repeats are independent and run concurrently (bounded by GOMAXPROCS);
+// the merge order is fixed by repeat index so results are deterministic.
+func seriesExperiment(cfg ExperimentConfig, names []string, build func(seed int64) (*Scenario, error)) (delay, runtime [][]float64, err error) {
+	type repeatResult struct {
+		results []*Result
+		err     error
+	}
+	perRepeat := make([]repeatResult, cfg.Repeats)
+	runOne := func(r int) {
+		s, err := build(cfg.Seed + int64(r))
+		if err != nil {
+			perRepeat[r] = repeatResult{err: err}
+			return
+		}
+		results, err := s.Compare(names...)
+		perRepeat[r] = repeatResult{results: results, err: err}
+	}
+	if cfg.Parallel {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, numWorkers())
+		for r := 0; r < cfg.Repeats; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runOne(r)
+			}(r)
+		}
+		wg.Wait()
+	} else {
+		for r := 0; r < cfg.Repeats; r++ {
+			runOne(r)
+		}
+	}
+
+	delay = make([][]float64, len(names))
+	runtime = make([][]float64, len(names))
+	for r := 0; r < cfg.Repeats; r++ {
+		if perRepeat[r].err != nil {
+			return nil, nil, perRepeat[r].err
+		}
+		for pi, res := range perRepeat[r].results {
+			if delay[pi] == nil {
+				delay[pi] = make([]float64, len(res.PerSlotDelayMS))
+				runtime[pi] = make([]float64, len(res.PerSlotRuntimeMS))
+			}
+			for t, d := range res.PerSlotDelayMS {
+				delay[pi][t] += d / float64(cfg.Repeats)
+			}
+			for t, rt := range res.PerSlotRuntimeMS {
+				runtime[pi][t] += rt / float64(cfg.Repeats)
+			}
+		}
+	}
+	return delay, runtime, nil
+}
+
+// numWorkers bounds experiment concurrency.
+func numWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// seriesTables packages per-slot series into (a) delay and (b) runtime
+// panels.
+func seriesTables(cfg ExperimentConfig, figure string, names []string, delay, runtime [][]float64) (*FigureResult, error) {
+	slots := len(delay[0])
+	xs := make([]float64, slots)
+	for t := range xs {
+		xs[t] = float64(t + 1)
+	}
+	mkTable := func(title string, data [][]float64, smooth bool) (*Table, error) {
+		tab := &Table{Title: title, XLabel: "time slot", XValues: xs}
+		for pi, name := range names {
+			vals := data[pi]
+			if smooth && cfg.SmoothWindow > 1 {
+				var err error
+				vals, err = metrics.MovingMean(vals, cfg.SmoothWindow)
+				if err != nil {
+					return nil, err
+				}
+			}
+			tab.Series = append(tab.Series, metrics.Series{Label: name, Values: vals})
+		}
+		return tab, tab.Validate()
+	}
+	a, err := mkTable(figure+"(a): average delay (ms)", delay, true)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mkTable(figure+"(b): running time per slot (ms)", runtime, true)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{Name: figure, Tables: []*Table{a, b}}, nil
+}
+
+// sweepExperiment varies network size and reports average delay and average
+// per-slot runtime per size.
+func sweepExperiment(cfg ExperimentConfig, figure string, names []string, sizes []int, build func(size int, seed int64) (*Scenario, error)) (*FigureResult, error) {
+	avgDelay := make([][]float64, len(names))
+	avgRuntime := make([][]float64, len(names))
+	for pi := range names {
+		avgDelay[pi] = make([]float64, len(sizes))
+		avgRuntime[pi] = make([]float64, len(sizes))
+	}
+	for si, size := range sizes {
+		for r := 0; r < cfg.Repeats; r++ {
+			s, err := build(size, cfg.Seed+int64(r))
+			if err != nil {
+				return nil, err
+			}
+			results, err := s.Compare(names...)
+			if err != nil {
+				return nil, err
+			}
+			for pi, res := range results {
+				avgDelay[pi][si] += res.AvgDelayMS / float64(cfg.Repeats)
+				avgRuntime[pi][si] += res.TotalRuntimeMS / float64(len(res.PerSlotRuntimeMS)) / float64(cfg.Repeats)
+			}
+		}
+	}
+	xs := make([]float64, len(sizes))
+	for i, n := range sizes {
+		xs[i] = float64(n)
+	}
+	aTab := &Table{Title: figure + "(a): average delay vs network size (ms)", XLabel: "stations", XValues: xs}
+	bTab := &Table{Title: figure + "(b): running time per slot vs network size (ms)", XLabel: "stations", XValues: xs}
+	for pi, name := range names {
+		aTab.Series = append(aTab.Series, metrics.Series{Label: name, Values: avgDelay[pi]})
+		bTab.Series = append(bTab.Series, metrics.Series{Label: name, Values: avgRuntime[pi]})
+	}
+	if err := aTab.Validate(); err != nil {
+		return nil, err
+	}
+	if err := bTab.Validate(); err != nil {
+		return nil, err
+	}
+	return &FigureResult{Name: figure, Tables: []*Table{aTab, bTab}}, nil
+}
+
+// givenDemandNames are the Figs. 3-5 competitors.
+var givenDemandNames = []string{"OL_GD", "Greedy_GD", "Pri_GD"}
+
+// hiddenDemandNames are the Figs. 6-7 competitors.
+var hiddenDemandNames = []string{"OL_GAN", "OL_Reg"}
+
+// hiddenWorkloadConfig sizes the workload so bursty mispredictions actually
+// contend for fast-station capacity (Figs. 6-7 setting).
+func hiddenWorkloadConfig(slots int) WorkloadConfig {
+	cfg := workload.DefaultConfig()
+	cfg.Horizon = slots
+	cfg.BurstScale = 10
+	return cfg
+}
+
+// Figure3 reproduces Fig. 3: OL_GD vs Greedy_GD vs Pri_GD over 100 time
+// slots in a 100-station GT-ITM network — (a) average delay, (b) running
+// time.
+func Figure3(cfg ExperimentConfig) (*FigureResult, error) {
+	cfg.normalize()
+	delay, runtime, err := seriesExperiment(cfg, givenDemandNames, func(seed int64) (*Scenario, error) {
+		wcfg := workload.DefaultConfig()
+		wcfg.Horizon = cfg.Slots
+		return NewScenario(
+			WithStations(100), WithSeed(seed), WithSlots(cfg.Slots),
+			WithWorkloadConfig(wcfg),
+		)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("l4e: Figure3: %w", err)
+	}
+	return seriesTables(cfg, "Fig3", givenDemandNames, delay, runtime)
+}
+
+// Figure4 reproduces Fig. 4: the same algorithms with network size varied
+// from 50 to 200 stations.
+func Figure4(cfg ExperimentConfig) (*FigureResult, error) {
+	cfg.normalize()
+	sizes := []int{50, 100, 150, 200}
+	res, err := sweepExperiment(cfg, "Fig4", givenDemandNames, sizes, func(size int, seed int64) (*Scenario, error) {
+		wcfg := workload.DefaultConfig()
+		wcfg.Horizon = cfg.Slots
+		return NewScenario(
+			WithStations(size), WithSeed(seed), WithSlots(cfg.Slots),
+			WithWorkloadConfig(wcfg),
+		)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("l4e: Figure4: %w", err)
+	}
+	return res, nil
+}
+
+// Figure5 reproduces Fig. 5: the given-demand algorithms on the real
+// topology AS1755 (access latency enabled — bottleneck links matter there).
+func Figure5(cfg ExperimentConfig) (*FigureResult, error) {
+	cfg.normalize()
+	delay, runtime, err := seriesExperiment(cfg, givenDemandNames, func(seed int64) (*Scenario, error) {
+		wcfg := workload.DefaultConfig()
+		wcfg.Horizon = cfg.Slots
+		return NewScenario(
+			WithTopology(TopologyAS1755), WithSeed(seed), WithSlots(cfg.Slots),
+			WithAccessLatency(true), WithWorkloadConfig(wcfg),
+		)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("l4e: Figure5: %w", err)
+	}
+	return seriesTables(cfg, "Fig5", givenDemandNames, delay, runtime)
+}
+
+// Figure6 reproduces Fig. 6: OL_GAN vs OL_Reg with hidden demands in a
+// 100-station GT-ITM network — (a) average delay, (b) running time (the
+// GAN's training/prediction cost shows up here, as in the paper's ~400%).
+func Figure6(cfg ExperimentConfig) (*FigureResult, error) {
+	cfg.normalize()
+	delay, runtime, err := seriesExperiment(cfg, hiddenDemandNames, func(seed int64) (*Scenario, error) {
+		return NewScenario(
+			WithStations(100), WithSeed(seed), WithSlots(cfg.Slots),
+			WithDemandsGiven(false), WithWorkloadConfig(hiddenWorkloadConfig(cfg.Slots)),
+		)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("l4e: Figure6: %w", err)
+	}
+	return seriesTables(cfg, "Fig6", hiddenDemandNames, delay, runtime)
+}
+
+// Figure7 reproduces Fig. 7: (a) OL_GAN vs OL_Reg on AS1755 over the
+// horizon, and (b) average delay with network size varied from 50 to 300.
+func Figure7(cfg ExperimentConfig) (*FigureResult, error) {
+	cfg.normalize()
+	// Panel (a): AS1755 series.
+	delay, runtime, err := seriesExperiment(cfg, hiddenDemandNames, func(seed int64) (*Scenario, error) {
+		return NewScenario(
+			WithTopology(TopologyAS1755), WithSeed(seed), WithSlots(cfg.Slots),
+			WithDemandsGiven(false), WithAccessLatency(true),
+			WithWorkloadConfig(hiddenWorkloadConfig(cfg.Slots)),
+		)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("l4e: Figure7(a): %w", err)
+	}
+	series, err := seriesTables(cfg, "Fig7", hiddenDemandNames, delay, runtime)
+	if err != nil {
+		return nil, err
+	}
+	series.Tables[0].Title = "Fig7(a): average delay on AS1755 (ms)"
+	series.Tables[1].Title = "Fig7(a'): running time per slot on AS1755 (ms)"
+
+	// Panel (b): size sweep 50..300.
+	sizes := []int{50, 100, 150, 200, 250, 300}
+	sweep, err := sweepExperiment(cfg, "Fig7", hiddenDemandNames, sizes, func(size int, seed int64) (*Scenario, error) {
+		return NewScenario(
+			WithStations(size), WithSeed(seed), WithSlots(cfg.Slots),
+			WithDemandsGiven(false), WithWorkloadConfig(hiddenWorkloadConfig(cfg.Slots)),
+		)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("l4e: Figure7(b): %w", err)
+	}
+	sweep.Tables[0].Title = "Fig7(b): average delay vs network size (ms)"
+	return &FigureResult{
+		Name:   "Fig7",
+		Tables: []*Table{series.Tables[0], series.Tables[1], sweep.Tables[0]},
+	}, nil
+}
+
+// Figures maps figure names to their runners (used by cmd/mecsim).
+func Figures() map[string]func(ExperimentConfig) (*FigureResult, error) {
+	return map[string]func(ExperimentConfig) (*FigureResult, error){
+		"fig3": Figure3,
+		"fig4": Figure4,
+		"fig5": Figure5,
+		"fig6": Figure6,
+		"fig7": Figure7,
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/mecsim/l4e
+
+go 1.22

@@ -1,0 +1,118 @@
+package algorithms
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/mecsim/l4e/internal/bandit"
+	"github.com/mecsim/l4e/internal/caching"
+)
+
+// IndexKind selects the arm index used by IndexOLGD.
+type IndexKind int
+
+// Index policies for the ablation of Algorithm 1's epsilon_t-greedy
+// exploration.
+const (
+	// IndexUCB uses the optimistic lower-confidence index (delay
+	// minimisation), folding exploration into the LP costs.
+	IndexUCB IndexKind = iota + 1
+	// IndexThompson samples each arm's delay from its Gaussian posterior.
+	IndexThompson
+)
+
+// String implements fmt.Stringer.
+func (k IndexKind) String() string {
+	switch k {
+	case IndexUCB:
+		return "UCB"
+	case IndexThompson:
+		return "Thompson"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// IndexOLGD is an ablation of OL_GD that replaces the epsilon_t-greedy
+// candidate mechanism with an index policy: the LP is solved with UCB or
+// Thompson indices instead of plain means, and the fractional solution is
+// rounded deterministically. Exploration happens implicitly because
+// uncertain arms have optimistic indices.
+type IndexOLGD struct {
+	kind IndexKind
+	arms *bandit.Arms
+	rng  *rand.Rand
+	n    int
+}
+
+// NewIndexOLGD builds the ablation policy.
+func NewIndexOLGD(kind IndexKind, numStations int, optimisticPrior float64, seed int64) (*IndexOLGD, error) {
+	if kind != IndexUCB && kind != IndexThompson {
+		return nil, fmt.Errorf("algorithms: unknown index kind %d", int(kind))
+	}
+	if numStations <= 0 {
+		return nil, fmt.Errorf("algorithms: IndexOLGD numStations = %d", numStations)
+	}
+	return &IndexOLGD{
+		kind: kind,
+		arms: bandit.NewArms(numStations, optimisticPrior),
+		rng:  rand.New(rand.NewSource(seed)),
+		n:    numStations,
+	}, nil
+}
+
+// Name implements Policy.
+func (x *IndexOLGD) Name() string { return "OL_GD/" + x.kind.String() }
+
+// Decide implements Policy.
+func (x *IndexOLGD) Decide(view *SlotView) (*caching.Assignment, error) {
+	p := view.Problem
+	if p.NumStations != x.n {
+		return nil, fmt.Errorf("algorithms: IndexOLGD built for %d stations, slot has %d", x.n, p.NumStations)
+	}
+	theta := make([]float64, x.n)
+	for i := 0; i < x.n; i++ {
+		switch x.kind {
+		case IndexUCB:
+			v := x.arms.UCB(i, view.T+1)
+			if v < 0 { // unplayed arms: maximally attractive
+				v = 0
+			}
+			theta[i] = v
+		case IndexThompson:
+			v := x.arms.Thompson(i, x.rng)
+			if v < 0 {
+				v = 0
+			}
+			theta[i] = v
+		}
+	}
+	p.UnitDelayMS = theta
+	frac, err := p.SolveLP()
+	if err != nil {
+		return nil, err
+	}
+	a := &caching.Assignment{BS: make([]int, len(p.Requests))}
+	for l := range p.Requests {
+		best, bestX := 0, -1.0
+		for i, xv := range frac.X[l] {
+			if xv > bestX {
+				best, bestX = i, xv
+			}
+		}
+		a.BS[l] = best
+	}
+	if err := repairCapacity(p, a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Observe implements Policy.
+func (x *IndexOLGD) Observe(obs *Observation) {
+	for i, d := range obs.PlayedDelays {
+		x.arms.Observe(i, d)
+	}
+}
+
+var _ Policy = (*IndexOLGD)(nil)

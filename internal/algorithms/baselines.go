@@ -1,0 +1,298 @@
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mecsim/l4e/internal/bandit"
+	"github.com/mecsim/l4e/internal/caching"
+	"github.com/mecsim/l4e/internal/mec"
+)
+
+// greedyAssignOrder assigns requests in the given order, each to the station
+// minimising its estimated marginal cost (processing + access latency +
+// instantiation if the service is not yet cached there) among stations with
+// residual capacity.
+func greedyAssignOrder(p *caching.Problem, order []int) (*caching.Assignment, error) {
+	a := &caching.Assignment{BS: make([]int, len(p.Requests))}
+	load := make([]float64, p.NumStations)
+	cached := make(map[[2]int]bool)
+	for _, l := range order {
+		demand := p.Requests[l].Volume * p.CUnit
+		k := p.Requests[l].Service
+		best, bestCost := -1, 0.0
+		for i := 0; i < p.NumStations; i++ {
+			if load[i]+demand > p.CapacityMHz[i]+1e-9 {
+				continue
+			}
+			c := p.AssignCost(l, i)
+			if !cached[[2]int{k, i}] {
+				c += p.InstDelayMS[i][k]
+			}
+			if best < 0 || c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("algorithms: no station can host request %d", l)
+		}
+		a.BS[l] = best
+		load[best] += demand
+		cached[[2]int{k, best}] = true
+	}
+	return a, nil
+}
+
+// estimator is the delay-information model shared by the baselines. The
+// paper's Greedy_GD and Pri_GD "cache services and offload user tasks
+// according to the historical information of processing latencies" and
+// ignore the per-station uncertainty: by default the estimates are STATIC
+// historical values (e.g. the per-class average latency an operator would
+// have on file) and are never updated. Setting adaptive=true turns on
+// passive mean-tracking from the stations the baseline happens to use — an
+// ablation showing how much of OL_GD's edge comes from its exploration
+// rather than from mere bookkeeping.
+type estimator struct {
+	static   []float64
+	arms     *bandit.Arms
+	adaptive bool
+}
+
+func newEstimator(static []float64, adaptive bool) estimator {
+	e := estimator{static: append([]float64(nil), static...), adaptive: adaptive}
+	if adaptive {
+		e.arms = bandit.NewArms(len(static), 0)
+		for i, v := range static {
+			e.arms.Observe(i, v) // seed with the historical value
+		}
+	}
+	return e
+}
+
+func (e *estimator) estimates() []float64 {
+	if e.adaptive {
+		return e.arms.Means()
+	}
+	return append([]float64(nil), e.static...)
+}
+
+func (e *estimator) observe(obs *Observation) {
+	if !e.adaptive {
+		return
+	}
+	for i, d := range obs.PlayedDelays {
+		e.arms.Observe(i, d)
+	}
+}
+
+// GreedyGD is the Greedy_GD baseline, implemented station-centrically per
+// the paper's description ("each base station greedily selects a service and
+// its tasks that could minimize the delay of each request"): stations act in
+// order of their historical latency estimate (fastest believed station moves
+// first); on its turn a station caches the single service with the largest
+// unassigned demand and claims that service's requests while capacity
+// remains. Stations keep taking turns until every request is assigned. The
+// station-at-a-time, one-service-per-turn structure is what makes it myopic:
+// it fragments services across stations and lets a mediocre station claim
+// tasks a better station could still have served.
+type GreedyGD struct {
+	estimator
+}
+
+// NewGreedyGD builds the baseline. historical supplies the per-station
+// latency estimates the operator has on file (one per station); adaptive
+// turns on passive updating (ablation).
+func NewGreedyGD(historical []float64, adaptive bool) (*GreedyGD, error) {
+	if len(historical) == 0 {
+		return nil, fmt.Errorf("algorithms: GreedyGD needs historical estimates")
+	}
+	return &GreedyGD{estimator: newEstimator(historical, adaptive)}, nil
+}
+
+// Name implements Policy.
+func (g *GreedyGD) Name() string { return "Greedy_GD" }
+
+// Decide implements Policy.
+func (g *GreedyGD) Decide(view *SlotView) (*caching.Assignment, error) {
+	p := view.Problem
+	if p.NumStations != len(g.static) {
+		return nil, fmt.Errorf("algorithms: GreedyGD has %d estimates for %d stations", len(g.static), p.NumStations)
+	}
+	p.UnitDelayMS = g.estimates()
+
+	// Stations take turns fastest-believed first.
+	order := make([]int, p.NumStations)
+	for i := range order {
+		order[i] = i
+	}
+	est := p.UnitDelayMS
+	sort.SliceStable(order, func(a, b int) bool { return est[order[a]] < est[order[b]] })
+
+	a := &caching.Assignment{BS: make([]int, len(p.Requests))}
+	for l := range a.BS {
+		a.BS[l] = -1
+	}
+	load := make([]float64, p.NumStations)
+	remaining := len(p.Requests)
+	for pass := 0; remaining > 0; pass++ {
+		progress := false
+		for _, i := range order {
+			if remaining == 0 {
+				break
+			}
+			// Pick the service with the largest unassigned demand this
+			// station could still host.
+			demand := make([]float64, p.NumServices)
+			for l, bs := range a.BS {
+				if bs >= 0 {
+					continue
+				}
+				need := p.Requests[l].Volume * p.CUnit
+				if load[i]+need <= p.CapacityMHz[i]+1e-9 {
+					demand[p.Requests[l].Service] += need
+				}
+			}
+			bestK, bestD := -1, 0.0
+			for k, d := range demand {
+				if d > bestD {
+					bestK, bestD = k, d
+				}
+			}
+			if bestK < 0 {
+				continue
+			}
+			// Claim that service's requests while capacity remains.
+			for l, bs := range a.BS {
+				if bs >= 0 || p.Requests[l].Service != bestK {
+					continue
+				}
+				need := p.Requests[l].Volume * p.CUnit
+				if load[i]+need > p.CapacityMHz[i]+1e-9 {
+					continue
+				}
+				a.BS[l] = i
+				load[i] += need
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("algorithms: Greedy_GD cannot place %d requests (capacity exhausted)", remaining)
+		}
+	}
+	return a, nil
+}
+
+// Observe implements Policy.
+func (g *GreedyGD) Observe(obs *Observation) { g.observe(obs) }
+
+// PriGD is the priority-driven baseline of [20]: each request gets a
+// priority equal to the number of base stations covering its location, and
+// higher-priority requests are served first, again under static historical
+// delay estimates.
+type PriGD struct {
+	estimator
+	priority []int // per request: coverage count (higher = served earlier)
+}
+
+// NewPriGD builds the baseline. The per-request priorities are derived from
+// the network geometry once (coverage is static); historical supplies the
+// per-station latency estimates.
+func NewPriGD(net *mec.Network, requestXY [][2]float64, historical []float64, adaptive bool) (*PriGD, error) {
+	if net.NumStations() == 0 {
+		return nil, fmt.Errorf("algorithms: PriGD needs a non-empty network")
+	}
+	if len(historical) != net.NumStations() {
+		return nil, fmt.Errorf("algorithms: PriGD has %d estimates for %d stations", len(historical), net.NumStations())
+	}
+	pri := make([]int, len(requestXY))
+	for l, xy := range requestXY {
+		pri[l] = len(net.StationsCovering(xy[0], xy[1]))
+	}
+	return &PriGD{
+		estimator: newEstimator(historical, adaptive),
+		priority:  pri,
+	}, nil
+}
+
+// Name implements Policy.
+func (p *PriGD) Name() string { return "Pri_GD" }
+
+// Decide implements Policy. Priorities are looked up by stable request ID,
+// so the policy handles per-slot request churn (R(t) subsets).
+func (p *PriGD) Decide(view *SlotView) (*caching.Assignment, error) {
+	prob := view.Problem
+	for l := range prob.Requests {
+		if id := prob.Requests[l].ID; id < 0 || id >= len(p.priority) {
+			return nil, fmt.Errorf("algorithms: PriGD has no priority for request id %d", id)
+		}
+	}
+	prob.UnitDelayMS = p.estimates()
+	order := make([]int, len(prob.Requests))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.priority[prob.Requests[order[a]].ID] > p.priority[prob.Requests[order[b]].ID]
+	})
+	return greedyAssignOrder(prob, order)
+}
+
+// Observe implements Policy.
+func (p *PriGD) Observe(obs *Observation) { p.observe(obs) }
+
+// Oracle knows the true unit delays of every slot (they are injected by the
+// simulator through SetTrueDelays before Decide) and solves the LP
+// relaxation with them, rounding via candidate sampling with gamma = 0.5.
+// It is the per-slot reference for regret measurement, not a competitor.
+type Oracle struct {
+	trueDelays []float64
+}
+
+// NewOracle builds the reference policy.
+func NewOracle() *Oracle { return &Oracle{} }
+
+// Name implements Policy.
+func (o *Oracle) Name() string { return "Oracle" }
+
+// SetTrueDelays injects the slot's actual d_i(t) (called by the simulator).
+func (o *Oracle) SetTrueDelays(d []float64) {
+	o.trueDelays = append(o.trueDelays[:0], d...)
+}
+
+// Decide implements Policy.
+func (o *Oracle) Decide(view *SlotView) (*caching.Assignment, error) {
+	p := view.Problem
+	if len(o.trueDelays) != p.NumStations {
+		return nil, fmt.Errorf("algorithms: Oracle has %d true delays for %d stations", len(o.trueDelays), p.NumStations)
+	}
+	p.UnitDelayMS = append([]float64(nil), o.trueDelays...)
+	frac, err := p.SolveLP()
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic rounding: argmax x*_li per request, then repair.
+	a := &caching.Assignment{BS: make([]int, len(p.Requests))}
+	for l := range p.Requests {
+		best, bestX := 0, -1.0
+		for i, x := range frac.X[l] {
+			if x > bestX {
+				best, bestX = i, x
+			}
+		}
+		a.BS[l] = best
+	}
+	if err := repairCapacity(p, a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Observe implements Policy (the oracle has nothing to learn).
+func (o *Oracle) Observe(*Observation) {}
+
+var (
+	_ Policy = (*GreedyGD)(nil)
+	_ Policy = (*PriGD)(nil)
+	_ Policy = (*Oracle)(nil)
+)

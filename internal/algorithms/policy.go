@@ -1,0 +1,184 @@
+// Package algorithms implements the paper's service-caching policies:
+//
+//   - OLGD — Algorithm 1 (OL_GD): the online-learning policy that solves the
+//     LP relaxation of ILP (3)-(7) with current delay estimates, extracts
+//     candidate station sets (Eq. 9), and explores with probability
+//     epsilon_t, observing played arms to learn theta_i.
+//   - GreedyGD / PriGD — the Greedy_GD and Pri_GD baselines of Section VI.
+//   - OLReg / OLGAN — Algorithm 2's demand-uncertain policies: OL_GD with
+//     volumes supplied by an ARMA predictor (Eq. 27) or by the Info-RNN-GAN.
+//   - Oracle — knows the slot's true d_i(t) and demands; the per-slot
+//     reference for regret measurement.
+//   - UCBOLGD / ThompsonOLGD — ablation variants replacing the epsilon_t
+//     schedule with index policies.
+//
+// Policies are driven by internal/sim through the Policy interface: Decide
+// receives the slot's problem WITHOUT the true unit delays (policies fill in
+// their own estimates) and, for demand-uncertain policies, without the true
+// volumes; Observe feeds back what the slot actually revealed.
+package algorithms
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/mecsim/l4e/internal/caching"
+)
+
+// SlotView is what a policy sees at the START of slot t.
+type SlotView struct {
+	// T is the slot index (0-based).
+	T int
+	// Problem carries stations, capacities, instantiation delays, access
+	// latencies, and per-request volumes. When DemandsGiven is false the
+	// volumes are the requests' BASIC demands only (the a-priori part);
+	// the bursty component is hidden until Observe.
+	Problem *caching.Problem
+	// DemandsGiven reports whether Problem volumes are the true rho_l(t).
+	DemandsGiven bool
+	// Features[id] is the observable current-slot feature vector of request
+	// id's hotspot (e.g. occupancy) — known at slot start. Indexed by
+	// stable request ID over the FULL workload set.
+	Features [][]float64
+	// Clusters[id] is request id's latent cluster code (full set).
+	Clusters []int
+}
+
+// Observation is what a policy learns at the END of slot t.
+type Observation struct {
+	// T is the slot index.
+	T int
+	// PlayedDelays maps station ID -> observed d_i(t) for every station
+	// that served at least one request this slot (playing the arm reveals
+	// the sample, per Section IV-A).
+	PlayedDelays map[int]float64
+	// TrueVolumes is the realised rho_l(t) of every request, indexed by
+	// stable request ID (the full workload set, not just R(t)).
+	TrueVolumes []float64
+	// Active[id] reports whether request id was in R(t) this slot (nil
+	// means all requests were active). Volumes of inactive requests were
+	// not observable and must not update predictors.
+	Active []bool
+}
+
+// activeAt reports whether request id was active in the observation.
+func (o *Observation) activeAt(id int) bool {
+	return o.Active == nil || (id < len(o.Active) && o.Active[id])
+}
+
+// Policy is a per-slot service-caching and offloading decision maker.
+type Policy interface {
+	// Name returns the algorithm's display name (e.g. "OL_GD").
+	Name() string
+	// Decide returns the slot's assignment of requests to stations.
+	Decide(view *SlotView) (*caching.Assignment, error)
+	// Observe feeds back the slot's revealed information.
+	Observe(obs *Observation)
+}
+
+// repairCapacity makes an assignment capacity-feasible by moving requests
+// off overloaded stations onto the cheapest station with residual capacity
+// (largest movers first). The paper's Algorithm 1 samples assignments from
+// the fractional solution and can transiently violate (5); this repair step
+// restores feasibility while staying close to the sampled solution.
+func repairCapacity(p *caching.Problem, a *caching.Assignment) error {
+	load := make([]float64, p.NumStations)
+	for l, i := range a.BS {
+		load[i] += p.Requests[l].Volume * p.CUnit
+	}
+	// Collect requests on overloaded stations, largest volume first.
+	type mover struct {
+		l      int
+		demand float64
+	}
+	var movers []mover
+	over := func(i int) bool { return load[i] > p.CapacityMHz[i]+1e-9 }
+	for l, i := range a.BS {
+		if over(i) {
+			movers = append(movers, mover{l: l, demand: p.Requests[l].Volume * p.CUnit})
+		}
+	}
+	// Largest first empties overloaded stations fastest.
+	for i := 0; i < len(movers); i++ {
+		for j := i + 1; j < len(movers); j++ {
+			if movers[j].demand > movers[i].demand {
+				movers[i], movers[j] = movers[j], movers[i]
+			}
+		}
+	}
+	for _, mv := range movers {
+		cur := a.BS[mv.l]
+		if !over(cur) {
+			continue // station drained below capacity by earlier moves
+		}
+		best, bestCost := -1, 0.0
+		for i := 0; i < p.NumStations; i++ {
+			if i == cur || load[i]+mv.demand > p.CapacityMHz[i]+1e-9 {
+				continue
+			}
+			c := p.AssignCost(mv.l, i)
+			if best < 0 || c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("algorithms: cannot repair capacity for request %d (total demand exceeds capacity?)", mv.l)
+		}
+		load[cur] -= mv.demand
+		load[best] += mv.demand
+		a.BS[mv.l] = best
+	}
+	return nil
+}
+
+// sampleFromCandidates implements Algorithm 1 line 7: assign each request to
+// a station in its candidate set with probability proportional to x*_li.
+func sampleFromCandidates(p *caching.Problem, frac *caching.Fractional, candidates [][]int, rng *rand.Rand) *caching.Assignment {
+	a := &caching.Assignment{BS: make([]int, len(p.Requests))}
+	for l, set := range candidates {
+		total := 0.0
+		for _, i := range set {
+			total += frac.X[l][i]
+		}
+		if total <= 0 {
+			a.BS[l] = set[0]
+			continue
+		}
+		r := rng.Float64() * total
+		choice := set[len(set)-1]
+		for _, i := range set {
+			r -= frac.X[l][i]
+			if r <= 0 {
+				choice = i
+				break
+			}
+		}
+		a.BS[l] = choice
+	}
+	return a
+}
+
+// exploreOutsideCandidates implements Algorithm 1 line 9: assign each
+// request to a random station OUTSIDE its candidate set (falling back to the
+// candidate set when it covers every station).
+func exploreOutsideCandidates(p *caching.Problem, candidates [][]int, rng *rand.Rand) *caching.Assignment {
+	a := &caching.Assignment{BS: make([]int, len(p.Requests))}
+	for l, set := range candidates {
+		inSet := make(map[int]bool, len(set))
+		for _, i := range set {
+			inSet[i] = true
+		}
+		outside := make([]int, 0, p.NumStations-len(set))
+		for i := 0; i < p.NumStations; i++ {
+			if !inSet[i] {
+				outside = append(outside, i)
+			}
+		}
+		if len(outside) == 0 {
+			a.BS[l] = set[rng.Intn(len(set))]
+			continue
+		}
+		a.BS[l] = outside[rng.Intn(len(outside))]
+	}
+	return a
+}

@@ -1,0 +1,75 @@
+package bandit
+
+import "fmt"
+
+// WindowArms tracks per-arm statistics over a sliding window of the most
+// recent observations — an extension for NON-stationary delay processes
+// (e.g. diurnal load patterns), where the paper's plain empirical mean would
+// anchor on stale samples. The estimate for an unplayed or flushed arm falls
+// back to its optimistic prior.
+type WindowArms struct {
+	window int
+	prior  []float64
+	// ring[i] holds arm i's last observations, sums[i] their sum.
+	ring    [][]float64
+	cursors []int
+	filled  []int
+}
+
+// NewWindowArms creates sliding-window statistics for len(priors) arms.
+func NewWindowArms(window int, priors []float64) (*WindowArms, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("bandit: window %d, need >= 1", window)
+	}
+	if len(priors) == 0 {
+		return nil, fmt.Errorf("bandit: no arms")
+	}
+	w := &WindowArms{
+		window:  window,
+		prior:   append([]float64(nil), priors...),
+		ring:    make([][]float64, len(priors)),
+		cursors: make([]int, len(priors)),
+		filled:  make([]int, len(priors)),
+	}
+	for i := range w.ring {
+		w.ring[i] = make([]float64, window)
+	}
+	return w, nil
+}
+
+// Len reports the number of arms.
+func (w *WindowArms) Len() int { return len(w.ring) }
+
+// Observe records one delay sample for arm i, evicting the oldest sample
+// once the window is full.
+func (w *WindowArms) Observe(i int, delay float64) {
+	w.ring[i][w.cursors[i]] = delay
+	w.cursors[i] = (w.cursors[i] + 1) % w.window
+	if w.filled[i] < w.window {
+		w.filled[i]++
+	}
+}
+
+// Mean returns the windowed estimate for arm i (the prior when unplayed).
+func (w *WindowArms) Mean(i int) float64 {
+	if w.filled[i] == 0 {
+		return w.prior[i]
+	}
+	sum := 0.0
+	for j := 0; j < w.filled[i]; j++ {
+		sum += w.ring[i][j]
+	}
+	return sum / float64(w.filled[i])
+}
+
+// Means returns all windowed estimates.
+func (w *WindowArms) Means() []float64 {
+	out := make([]float64, len(w.ring))
+	for i := range out {
+		out[i] = w.Mean(i)
+	}
+	return out
+}
+
+// Count returns the number of samples currently inside arm i's window.
+func (w *WindowArms) Count(i int) int { return w.filled[i] }

@@ -1,0 +1,517 @@
+// Package caching defines the per-slot joint service-caching and
+// task-offloading problem of Section III-E and its ILP formulation (Eq. 3-7):
+//
+//	min (1/|R|) ( sum_l sum_i x_li * rho_l * theta_i  +  sum_k sum_i y_ki * d_ins_ik )
+//	s.t. sum_i x_li = 1                       for all requests l      (4)
+//	     sum_l x_li * rho_l * C_unit <= C_i   for all stations i      (5)
+//	     y_ki >= x_li                         for l with service k    (6)
+//	     x, y binary                                                  (7)
+//
+// The package lowers the LP relaxation to either the exact simplex solver in
+// internal/lp (small instances; also the test oracle) or a min-cost-flow
+// reformulation in internal/flow (experiment scale), extracts the candidate
+// base-station sets of Eq. (9), and evaluates integral assignments.
+//
+// Beyond the paper's objective, an optional known access-latency term
+// lat(reg(l), i) can be added to the per-assignment cost; it models the
+// wired-path latency from the user's registered station to the serving
+// station and is what surfaces bottleneck links in real topologies (Fig. 5).
+package caching
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mecsim/l4e/internal/flow"
+	"github.com/mecsim/l4e/internal/lp"
+)
+
+// RequestSpec is the per-slot view of one request: its service, its data
+// volume rho_l(t) for this slot, and its registered station.
+type RequestSpec struct {
+	ID           int
+	Service      int
+	Volume       float64
+	RegisteredBS int
+}
+
+// Problem is one slot's caching/offloading instance.
+type Problem struct {
+	// NumStations is |BS|.
+	NumStations int
+	// NumServices is |S|.
+	NumServices int
+	// Requests lists the slot's requests with their volumes.
+	Requests []RequestSpec
+	// CapacityMHz is C(bs_i) per station.
+	CapacityMHz []float64
+	// CUnit is the compute (MHz) consumed per unit of data.
+	CUnit float64
+	// UnitDelayMS is the unit-data processing delay used as theta_i in the
+	// objective (the learner's current estimate, or the truth for oracles).
+	UnitDelayMS []float64
+	// InstDelayMS[i][k] is the instantiation delay d^ins_{i,k}.
+	InstDelayMS [][]float64
+	// AccessLatencyMS[l][i] is the known extra latency of serving request l
+	// at station i (nil means zero everywhere).
+	AccessLatencyMS [][]float64
+}
+
+// Validate checks dimension consistency.
+func (p *Problem) Validate() error {
+	switch {
+	case p.NumStations <= 0:
+		return fmt.Errorf("caching: NumStations = %d", p.NumStations)
+	case p.NumServices <= 0:
+		return fmt.Errorf("caching: NumServices = %d", p.NumServices)
+	case len(p.Requests) == 0:
+		return fmt.Errorf("caching: no requests")
+	case len(p.CapacityMHz) != p.NumStations:
+		return fmt.Errorf("caching: %d capacities for %d stations", len(p.CapacityMHz), p.NumStations)
+	case len(p.UnitDelayMS) != p.NumStations:
+		return fmt.Errorf("caching: %d unit delays for %d stations", len(p.UnitDelayMS), p.NumStations)
+	case len(p.InstDelayMS) != p.NumStations:
+		return fmt.Errorf("caching: %d inst-delay rows for %d stations", len(p.InstDelayMS), p.NumStations)
+	case p.CUnit <= 0:
+		return fmt.Errorf("caching: CUnit = %v", p.CUnit)
+	}
+	for i, row := range p.InstDelayMS {
+		if len(row) != p.NumServices {
+			return fmt.Errorf("caching: inst-delay row %d has %d services, want %d", i, len(row), p.NumServices)
+		}
+	}
+	if p.AccessLatencyMS != nil && len(p.AccessLatencyMS) != len(p.Requests) {
+		return fmt.Errorf("caching: %d access-latency rows for %d requests", len(p.AccessLatencyMS), len(p.Requests))
+	}
+	for l, r := range p.Requests {
+		if r.Service < 0 || r.Service >= p.NumServices {
+			return fmt.Errorf("caching: request %d has service %d of %d", l, r.Service, p.NumServices)
+		}
+		if r.Volume <= 0 || math.IsNaN(r.Volume) {
+			return fmt.Errorf("caching: request %d has volume %v", l, r.Volume)
+		}
+	}
+	return nil
+}
+
+// accessLat returns lat(l, i), zero when no matrix is configured.
+func (p *Problem) accessLat(l, i int) float64 {
+	if p.AccessLatencyMS == nil {
+		return 0
+	}
+	return p.AccessLatencyMS[l][i]
+}
+
+// AssignCost is the per-assignment objective contribution of serving request
+// l at station i under the problem's theta estimates (excluding
+// instantiation, which is charged per cached instance).
+func (p *Problem) AssignCost(l, i int) float64 {
+	return p.Requests[l].Volume*p.UnitDelayMS[i] + p.accessLat(l, i)
+}
+
+// Fractional is a (possibly fractional) solution to the LP relaxation.
+type Fractional struct {
+	// X[l][i] is the fraction of request l served at station i.
+	X [][]float64
+	// Y[k][i] is the caching level of service k at station i.
+	Y [][]float64
+	// Objective is the LP objective value (average delay, ms).
+	Objective float64
+}
+
+// Assignment is an integral solution: request l is served by station BS[l].
+type Assignment struct {
+	// BS[l] is the serving station of request l.
+	BS []int
+}
+
+// Instances returns the set of cached (service, station) pairs implied by the
+// assignment.
+func (a *Assignment) Instances(p *Problem) map[[2]int]bool {
+	out := make(map[[2]int]bool)
+	for l, i := range a.BS {
+		out[[2]int{p.Requests[l].Service, i}] = true
+	}
+	return out
+}
+
+// _exactVarLimit bounds the |R|*|BS| product for which the dense simplex is
+// used; beyond it SolveLP switches to the flow reformulation. The dense
+// tableau costs O((L+N+LN)^2) memory and cubic-ish pivoting time, so only
+// small instances stay on the exact path in per-slot use.
+const _exactVarLimit = 200
+
+// SolveLP solves the LP relaxation, dispatching on instance size.
+func (p *Problem) SolveLP() (*Fractional, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Requests)*p.NumStations <= _exactVarLimit {
+		return p.SolveLPExact()
+	}
+	return p.SolveLPFlow()
+}
+
+// SolveLPExact lowers the relaxation of ILP (3)-(7) to internal/lp and lifts
+// the solution back. Intended for small instances and as the oracle against
+// which SolveLPFlow is validated.
+func (p *Problem) SolveLPExact() (*Fractional, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	L, N, K := len(p.Requests), p.NumStations, p.NumServices
+	prob := lp.NewProblem()
+	invR := 1.0 / float64(L)
+
+	xIdx := make([][]int, L)
+	for l := 0; l < L; l++ {
+		xIdx[l] = make([]int, N)
+		for i := 0; i < N; i++ {
+			cost := invR * p.AssignCost(l, i)
+			xIdx[l][i] = prob.AddBoundedVariable(cost, 1, fmt.Sprintf("x_%d_%d", l, i))
+		}
+	}
+	yIdx := make([][]int, K)
+	for k := 0; k < K; k++ {
+		yIdx[k] = make([]int, N)
+		for i := 0; i < N; i++ {
+			yIdx[k][i] = prob.AddBoundedVariable(invR*p.InstDelayMS[i][k], 1, fmt.Sprintf("y_%d_%d", k, i))
+		}
+	}
+
+	// (4) each request fully assigned.
+	for l := 0; l < L; l++ {
+		cols := make([]int, N)
+		coefs := make([]float64, N)
+		for i := 0; i < N; i++ {
+			cols[i] = xIdx[l][i]
+			coefs[i] = 1
+		}
+		if err := prob.AddConstraint(cols, coefs, lp.EQ, 1); err != nil {
+			return nil, err
+		}
+	}
+	// (5) station capacities.
+	for i := 0; i < N; i++ {
+		cols := make([]int, L)
+		coefs := make([]float64, L)
+		for l := 0; l < L; l++ {
+			cols[l] = xIdx[l][i]
+			coefs[l] = p.Requests[l].Volume * p.CUnit
+		}
+		if err := prob.AddConstraint(cols, coefs, lp.LE, p.CapacityMHz[i]); err != nil {
+			return nil, err
+		}
+	}
+	// (6) y_ki >= x_li.
+	for l := 0; l < L; l++ {
+		k := p.Requests[l].Service
+		for i := 0; i < N; i++ {
+			if err := prob.AddConstraint(
+				[]int{yIdx[k][i], xIdx[l][i]}, []float64{1, -1}, lp.GE, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("caching: LP relaxation: %w", err)
+	}
+	frac := &Fractional{
+		X:         make([][]float64, L),
+		Y:         make([][]float64, K),
+		Objective: sol.Objective,
+	}
+	for l := 0; l < L; l++ {
+		frac.X[l] = make([]float64, N)
+		for i := 0; i < N; i++ {
+			frac.X[l][i] = sol.X[xIdx[l][i]]
+		}
+	}
+	for k := 0; k < K; k++ {
+		frac.Y[k] = make([]float64, N)
+		for i := 0; i < N; i++ {
+			frac.Y[k][i] = sol.X[yIdx[k][i]]
+		}
+	}
+	return frac, nil
+}
+
+// SolveLPFlow solves a min-cost-flow relaxation of the instance: requests
+// supply rho_l * C_unit compute units, stations absorb up to C_i, and the
+// per-unit edge cost folds in theta_i, access latency, and the instantiation
+// delay amortised per request. The amortisation makes the flow objective an
+// upper bound on the true LP objective; the x fractions it produces are what
+// Algorithm 1 consumes (candidate sets + probabilities), and tests verify
+// they track the exact LP closely on overlapping sizes.
+func (p *Problem) SolveLPFlow() (*Fractional, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	L, N, K := len(p.Requests), p.NumStations, p.NumServices
+
+	g := flow.NewGraph(2 + L + N)
+	src := 0
+	sink := 1 + L + N
+	reqNode := func(l int) int { return 1 + l }
+	bsNode := func(i int) int { return 1 + L + i }
+
+	type edgeRef struct{ l, i, id int }
+	edges := make([]edgeRef, 0, L*N)
+	totalSupply := 0.0
+	for l := 0; l < L; l++ {
+		supply := p.Requests[l].Volume * p.CUnit
+		totalSupply += supply
+		if _, err := g.AddEdge(src, reqNode(l), supply, 0); err != nil {
+			return nil, err
+		}
+		k := p.Requests[l].Service
+		for i := 0; i < N; i++ {
+			// Cost per compute unit so a full assignment costs
+			// AssignCost + amortised instantiation.
+			perUnit := (p.AssignCost(l, i) + p.InstDelayMS[i][k]) / supply
+			id, err := g.AddEdge(reqNode(l), bsNode(i), supply, perUnit)
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, edgeRef{l: l, i: i, id: id})
+		}
+	}
+	for i := 0; i < N; i++ {
+		if _, err := g.AddEdge(bsNode(i), sink, p.CapacityMHz[i], 0); err != nil {
+			return nil, err
+		}
+	}
+
+	if _, err := g.MinCostFlow(src, sink, totalSupply); err != nil {
+		return nil, fmt.Errorf("caching: flow relaxation (capacity %v < demand %v?): %w",
+			sum(p.CapacityMHz), totalSupply, err)
+	}
+
+	frac := &Fractional{
+		X: make([][]float64, L),
+		Y: make([][]float64, K),
+	}
+	for l := 0; l < L; l++ {
+		frac.X[l] = make([]float64, N)
+	}
+	for k := 0; k < K; k++ {
+		frac.Y[k] = make([]float64, N)
+	}
+	for _, e := range edges {
+		supply := p.Requests[e.l].Volume * p.CUnit
+		x := g.Flow(e.id) / supply
+		if x < 1e-12 {
+			continue
+		}
+		frac.X[e.l][e.i] = x
+		k := p.Requests[e.l].Service
+		if x > frac.Y[k][e.i] {
+			frac.Y[k][e.i] = x
+		}
+	}
+	// Recompute the objective in LP terms (y = max x, not amortised).
+	frac.Objective = p.fracObjective(frac)
+	return frac, nil
+}
+
+func (p *Problem) fracObjective(f *Fractional) float64 {
+	total := 0.0
+	for l := range p.Requests {
+		for i, x := range f.X[l] {
+			if x > 0 {
+				total += x * p.AssignCost(l, i)
+			}
+		}
+	}
+	for k := range f.Y {
+		for i, y := range f.Y[k] {
+			if y > 0 {
+				total += y * p.InstDelayMS[i][k]
+			}
+		}
+	}
+	return total / float64(len(p.Requests))
+}
+
+// Candidates extracts the candidate station sets of Eq. (9):
+// BS_l^candi = { bs_i : x*_li >= gamma }. When a request has no station above
+// the threshold (possible with very fragmented fractional solutions), the
+// station with the largest x*_li is used so the set is never empty.
+func (p *Problem) Candidates(f *Fractional, gamma float64) [][]int {
+	out := make([][]int, len(p.Requests))
+	for l := range p.Requests {
+		var set []int
+		bestI, bestX := -1, -1.0
+		for i, x := range f.X[l] {
+			if x >= gamma {
+				set = append(set, i)
+			}
+			if x > bestX {
+				bestI, bestX = i, x
+			}
+		}
+		if len(set) == 0 && bestI >= 0 {
+			set = []int{bestI}
+		}
+		out[l] = set
+	}
+	return out
+}
+
+// Evaluate computes the realised average delay (objective 3) of an integral
+// assignment under the ACTUAL unit delays d_i(t) of the slot: processing
+// rho_l * d_i(t), plus access latency, plus instantiation per cached
+// instance, averaged over requests. It also reports capacity feasibility.
+//
+// Stations loaded beyond capacity degrade: processing delay scales by the
+// oversubscription ratio load/C(bs_i) (processor sharing — an overcommitted
+// cloudlet slows every tenant proportionally). Assignments that respect
+// constraint (5) under the TRUE volumes are unaffected; policies acting on
+// under-predicted bursty demands pay the penalty, which is exactly the
+// performance-degradation mechanism the paper's demand uncertainty is about.
+func (p *Problem) Evaluate(a *Assignment, actualUnitDelayMS []float64) (avgDelayMS float64, feasible bool, err error) {
+	avgDelayMS, feasible, _, err = p.EvaluateWarm(a, actualUnitDelayMS, nil)
+	return avgDelayMS, feasible, err
+}
+
+// EvaluateWarm is Evaluate with warm-cache accounting: instantiation is
+// charged only for (service, station) instances NOT already cached in
+// prevInstances (instances surviving from the previous slot stay warm). Pass
+// nil to charge every instance, which is the paper's literal objective (3).
+// It returns the slot's instance set so the caller can thread it forward.
+func (p *Problem) EvaluateWarm(a *Assignment, actualUnitDelayMS []float64, prevInstances map[[2]int]bool) (avgDelayMS float64, feasible bool, instances map[[2]int]bool, err error) {
+	if len(a.BS) != len(p.Requests) {
+		return 0, false, nil, fmt.Errorf("caching: assignment covers %d of %d requests", len(a.BS), len(p.Requests))
+	}
+	if len(actualUnitDelayMS) != p.NumStations {
+		return 0, false, nil, fmt.Errorf("caching: %d actual delays for %d stations", len(actualUnitDelayMS), p.NumStations)
+	}
+	used := make([]float64, p.NumStations)
+	for l, i := range a.BS {
+		if i < 0 || i >= p.NumStations {
+			return 0, false, nil, fmt.Errorf("caching: request %d assigned to invalid station %d", l, i)
+		}
+		used[i] += p.Requests[l].Volume * p.CUnit
+	}
+	overload := make([]float64, p.NumStations)
+	for i := range overload {
+		overload[i] = 1
+		if p.CapacityMHz[i] > 0 && used[i] > p.CapacityMHz[i] {
+			overload[i] = used[i] / p.CapacityMHz[i]
+		}
+	}
+	total := 0.0
+	for l, i := range a.BS {
+		total += p.Requests[l].Volume*actualUnitDelayMS[i]*overload[i] + p.accessLat(l, i)
+	}
+	// Instantiation, summed in deterministic (service, station) order so the
+	// floating-point result is reproducible across runs.
+	instances = a.Instances(p)
+	for k := 0; k < p.NumServices; k++ {
+		for i := 0; i < p.NumStations; i++ {
+			ki := [2]int{k, i}
+			if instances[ki] && !prevInstances[ki] {
+				total += p.InstDelayMS[i][k]
+			}
+		}
+	}
+	feasible = true
+	for i, u := range used {
+		if u > p.CapacityMHz[i]+1e-6 {
+			feasible = false
+			break
+		}
+	}
+	return total / float64(len(p.Requests)), feasible, instances, nil
+}
+
+// EstimatedCost computes objective (3) of an integral assignment under the
+// problem's theta estimates (used by greedy/priority policies to rank moves).
+func (p *Problem) EstimatedCost(a *Assignment) float64 {
+	total := 0.0
+	for l, i := range a.BS {
+		total += p.AssignCost(l, i)
+	}
+	instances := a.Instances(p)
+	for k := 0; k < p.NumServices; k++ {
+		for i := 0; i < p.NumStations; i++ {
+			if instances[[2]int{k, i}] {
+				total += p.InstDelayMS[i][k]
+			}
+		}
+	}
+	return total / float64(len(p.Requests))
+}
+
+func sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// LocalSearch improves an integral assignment by single-request moves: while
+// some request can move to a station that lowers the estimated objective
+// (processing + access latency + instantiation deltas) without violating
+// capacity, apply the best such move. Returns the number of moves applied.
+// This is the optional rounding-improvement step of the approximation
+// pipeline; maxMoves bounds the work (0 means |R|*4).
+func (p *Problem) LocalSearch(a *Assignment, maxMoves int) (int, error) {
+	if len(a.BS) != len(p.Requests) {
+		return 0, fmt.Errorf("caching: assignment covers %d of %d requests", len(a.BS), len(p.Requests))
+	}
+	if maxMoves <= 0 {
+		maxMoves = 4 * len(p.Requests)
+	}
+	load := make([]float64, p.NumStations)
+	// usage[k][i] counts requests of service k at station i (instantiation
+	// is charged while the count is positive).
+	usage := make(map[[2]int]int)
+	for l, i := range a.BS {
+		load[i] += p.Requests[l].Volume * p.CUnit
+		usage[[2]int{p.Requests[l].Service, i}]++
+	}
+
+	moves := 0
+	for moves < maxMoves {
+		bestL, bestI, bestGain := -1, -1, 1e-9
+		for l, cur := range a.BS {
+			k := p.Requests[l].Service
+			demand := p.Requests[l].Volume * p.CUnit
+			curCost := p.AssignCost(l, cur)
+			for i := 0; i < p.NumStations; i++ {
+				if i == cur || load[i]+demand > p.CapacityMHz[i]+1e-9 {
+					continue
+				}
+				gain := curCost - p.AssignCost(l, i)
+				// Instantiation deltas: leaving may evict an instance,
+				// arriving may create one.
+				if usage[[2]int{k, cur}] == 1 {
+					gain += p.InstDelayMS[cur][k]
+				}
+				if usage[[2]int{k, i}] == 0 {
+					gain -= p.InstDelayMS[i][k]
+				}
+				if gain > bestGain {
+					bestL, bestI, bestGain = l, i, gain
+				}
+			}
+		}
+		if bestL < 0 {
+			break
+		}
+		k := p.Requests[bestL].Service
+		cur := a.BS[bestL]
+		demand := p.Requests[bestL].Volume * p.CUnit
+		load[cur] -= demand
+		load[bestI] += demand
+		usage[[2]int{k, cur}]--
+		usage[[2]int{k, bestI}]++
+		a.BS[bestL] = bestI
+		moves++
+	}
+	return moves, nil
+}

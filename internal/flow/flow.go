@@ -1,0 +1,220 @@
+// Package flow implements min-cost max-flow via successive shortest paths
+// with Johnson potentials (Dijkstra after an initial Bellman-Ford pass for
+// negative edge costs). It is the fast path for the transportation-structured
+// LP relaxation of the service-caching problem at experiment scale, where the
+// dense simplex in internal/lp would be too slow.
+package flow
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Graph is a directed flow network under construction. Nodes are dense ints
+// [0, n). The zero value is unusable; create with NewGraph.
+type Graph struct {
+	n     int
+	edges []edge // forward/backward edges interleaved: i and i^1 are twins
+	head  [][]int
+}
+
+type edge struct {
+	to   int
+	cap  float64
+	cost float64
+	flow float64
+}
+
+// NewGraph returns an empty network with n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, head: make([][]int, n)}
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddEdge adds a directed edge from -> to with the given capacity and
+// per-unit cost, returning an edge handle usable with Flow.
+func (g *Graph) AddEdge(from, to int, capacity, cost float64) (int, error) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return 0, fmt.Errorf("flow: edge (%d,%d) out of range [0,%d)", from, to, g.n)
+	}
+	if capacity < 0 || math.IsNaN(capacity) || math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return 0, fmt.Errorf("flow: invalid capacity %v or cost %v", capacity, cost)
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: to, cap: capacity, cost: cost})
+	g.edges = append(g.edges, edge{to: from, cap: 0, cost: -cost})
+	g.head[from] = append(g.head[from], id)
+	g.head[to] = append(g.head[to], id+1)
+	return id, nil
+}
+
+// Flow returns the flow currently carried by edge handle id.
+func (g *Graph) Flow(id int) float64 { return g.edges[id].flow }
+
+// Result summarises a min-cost flow computation.
+type Result struct {
+	Flow float64
+	Cost float64
+}
+
+// ErrDisconnected is returned by MinCostFlow when the requested flow value
+// cannot be routed.
+var ErrDisconnected = errors.New("flow: requested flow not routable")
+
+const _eps = 1e-9
+
+// priority queue for Dijkstra.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// MinCostFlow sends up to want units (use math.Inf(1) for max-flow) from s to
+// t at minimum total cost, augmenting along successive shortest paths in
+// bulk. It returns the flow actually sent and its cost. If want is finite and
+// cannot be fully routed, it returns what was routed along with
+// ErrDisconnected.
+func (g *Graph) MinCostFlow(s, t int, want float64) (Result, error) {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		return Result{}, fmt.Errorf("flow: source %d or sink %d out of range", s, t)
+	}
+	if s == t {
+		return Result{}, fmt.Errorf("flow: source equals sink (%d)", s)
+	}
+
+	pot := make([]float64, g.n)
+	if g.hasNegativeCost() {
+		if err := g.bellmanFord(s, pot); err != nil {
+			return Result{}, err
+		}
+	}
+
+	dist := make([]float64, g.n)
+	prevEdge := make([]int, g.n)
+	var res Result
+
+	for res.Flow < want-_eps {
+		// Dijkstra with reduced costs.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		q := pq{{node: s, dist: 0}}
+		for len(q) > 0 {
+			it := heap.Pop(&q).(pqItem)
+			if it.dist > dist[it.node]+_eps {
+				continue
+			}
+			u := it.node
+			for _, id := range g.head[u] {
+				e := &g.edges[id]
+				if e.cap-e.flow <= _eps {
+					continue
+				}
+				nd := dist[u] + e.cost + pot[u] - pot[e.to]
+				if nd < dist[e.to]-_eps {
+					dist[e.to] = nd
+					prevEdge[e.to] = id
+					heap.Push(&q, pqItem{node: e.to, dist: nd})
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			break
+		}
+		for i := range pot {
+			if !math.IsInf(dist[i], 1) {
+				pot[i] += dist[i]
+			}
+		}
+		// Bottleneck along the path.
+		push := want - res.Flow
+		for v := t; v != s; {
+			e := &g.edges[prevEdge[v]]
+			if r := e.cap - e.flow; r < push {
+				push = r
+			}
+			v = g.edges[prevEdge[v]^1].to
+		}
+		for v := t; v != s; {
+			id := prevEdge[v]
+			g.edges[id].flow += push
+			g.edges[id^1].flow -= push
+			res.Cost += push * g.edges[id].cost
+			v = g.edges[id^1].to
+		}
+		res.Flow += push
+	}
+
+	if !math.IsInf(want, 1) && res.Flow < want-1e-6 {
+		return res, ErrDisconnected
+	}
+	return res, nil
+}
+
+func (g *Graph) hasNegativeCost() bool {
+	for i := 0; i < len(g.edges); i += 2 {
+		if g.edges[i].cost < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// bellmanFord initialises potentials when negative edge costs are present.
+func (g *Graph) bellmanFord(s int, pot []float64) error {
+	for i := range pot {
+		pot[i] = math.Inf(1)
+	}
+	pot[s] = 0
+	for iter := 0; iter < g.n; iter++ {
+		changed := false
+		for u := 0; u < g.n; u++ {
+			if math.IsInf(pot[u], 1) {
+				continue
+			}
+			for _, id := range g.head[u] {
+				e := &g.edges[id]
+				if e.cap-e.flow <= _eps {
+					continue
+				}
+				if nd := pot[u] + e.cost; nd < pot[e.to]-_eps {
+					pot[e.to] = nd
+					changed = true
+					if iter == g.n-1 {
+						return errors.New("flow: negative cycle detected")
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Unreached nodes keep +Inf; normalise to 0 so reduced costs stay finite.
+	for i := range pot {
+		if math.IsInf(pot[i], 1) {
+			pot[i] = 0
+		}
+	}
+	return nil
+}

@@ -1,0 +1,638 @@
+// Package gan implements the Info-RNN-GAN demand predictor of Section V.
+//
+// The generator G consumes, per time slot, a noise vector z^t, the latent
+// code c^t of the request's hidden user features — the one-hot hotspot
+// cluster coding plus any observable per-slot features such as current
+// hotspot occupancy (the paper's "coding of user locations in time slot t")
+// — and the previous slot's realised volume. A bidirectional LSTM body feeds
+// a softplus head that emits the predicted data volume. The discriminator D
+// consumes (volume, c^t) sequences through its own Bi-LSTM and scores
+// real-vs-generated (Eq. 23); an auxiliary head Q predicts the latent code
+// from the sequence, and its cross-entropy is the variational lower bound L1
+// on the mutual information I(c^t; G(z^t, c^t)) (Eq. 25), weighted by lambda
+// in the full objective (Eq. 26).
+//
+// Three documented engineering choices relative to the paper's prose:
+//
+//  1. Training starts with a supervised teacher-forcing phase (MSE on
+//     one-step-ahead prediction) before adversarial refinement — standard
+//     practice for continuous RNN-GANs [23] that prevents mode collapse in
+//     the small-sample regime the paper targets.
+//  2. The generator is bidirectional, so interior window steps could peek at
+//     their own target through the next step's v_{t-1} input; losses and
+//     generation therefore use only the FINAL window step, whose
+//     backward-direction state has seen no future volume.
+//  3. Generation is teacher-forced (the generator predicts slot t from the
+//     real history up to t-1): D judges one-step-ahead predicted windows
+//     against real ones, keeping backpropagation exact with the
+//     sequence-level BPTT of internal/nn.
+package gan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/mecsim/l4e/internal/nn"
+)
+
+// Cell selects the generator's recurrent body (ablation; the paper's
+// generator is bidirectional).
+type Cell int
+
+// Generator cell choices.
+const (
+	// CellBiLSTM is the paper's bidirectional LSTM (default).
+	CellBiLSTM Cell = iota
+	// CellLSTM is a unidirectional LSTM ablation.
+	CellLSTM
+	// CellGRU is a unidirectional GRU ablation.
+	CellGRU
+)
+
+// String implements fmt.Stringer.
+func (c Cell) String() string {
+	switch c {
+	case CellBiLSTM:
+		return "bilstm"
+	case CellLSTM:
+		return "lstm"
+	case CellGRU:
+		return "gru"
+	default:
+		return fmt.Sprintf("Cell(%d)", int(c))
+	}
+}
+
+// seqBody is the recurrent module contract shared by LSTM/BiLSTM/GRU.
+type seqBody interface {
+	nn.Module
+	Forward([][]float64) ([][]float64, error)
+	Backward([][]float64) ([][]float64, error)
+}
+
+// Config parameterises the Info-RNN-GAN.
+type Config struct {
+	// NoiseDim is the size of z^t.
+	NoiseDim int
+	// CodeDim is the size of the one-hot cluster part of the latent code
+	// c^t (number of hotspot clusters).
+	CodeDim int
+	// FeatureDim is the size of the observable per-slot feature vector
+	// (e.g. hotspot occupancy) appended to c^t; 0 disables the channel.
+	FeatureDim int
+	// Hidden is the per-direction LSTM hidden size.
+	Hidden int
+	// GeneratorCell selects the generator body (default CellBiLSTM).
+	GeneratorCell Cell
+	// Lambda weighs the mutual-information lower bound (Eq. 26).
+	Lambda float64
+	// LR is the Adam learning rate for all three networks.
+	LR float64
+	// Window is the training sequence length.
+	Window int
+	// PretrainEpochs is the number of supervised teacher-forcing passes.
+	PretrainEpochs int
+	// AdvEpochs is the number of adversarial passes.
+	AdvEpochs int
+	// Seed drives weight init, noise, and minibatch sampling.
+	Seed int64
+}
+
+// DefaultConfig returns a configuration tuned for the paper's small-sample
+// regime (a few dozen slots of history).
+func DefaultConfig(codeDim int) Config {
+	return Config{
+		NoiseDim:       2,
+		CodeDim:        codeDim,
+		FeatureDim:     1,
+		Hidden:         10,
+		Lambda:         0.5,
+		LR:             0.01,
+		Window:         8,
+		PretrainEpochs: 60,
+		AdvEpochs:      40,
+		Seed:           1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.NoiseDim < 0:
+		return fmt.Errorf("gan: NoiseDim = %d", c.NoiseDim)
+	case c.CodeDim < 1:
+		return fmt.Errorf("gan: CodeDim = %d, need >= 1", c.CodeDim)
+	case c.FeatureDim < 0:
+		return fmt.Errorf("gan: FeatureDim = %d", c.FeatureDim)
+	case c.Hidden < 1:
+		return fmt.Errorf("gan: Hidden = %d, need >= 1", c.Hidden)
+	case c.Lambda < 0:
+		return fmt.Errorf("gan: Lambda = %v, need >= 0", c.Lambda)
+	case c.LR <= 0:
+		return fmt.Errorf("gan: LR = %v, need > 0", c.LR)
+	case c.Window < 2:
+		return fmt.Errorf("gan: Window = %d, need >= 2", c.Window)
+	case c.PretrainEpochs < 0 || c.AdvEpochs < 0:
+		return fmt.Errorf("gan: negative epoch counts")
+	case c.GeneratorCell != CellBiLSTM && c.GeneratorCell != CellLSTM && c.GeneratorCell != CellGRU:
+		return fmt.Errorf("gan: unknown generator cell %d", int(c.GeneratorCell))
+	}
+	return nil
+}
+
+// Sample is one training sequence: the realised volume series of a request
+// plus its latent cluster code and, when FeatureDim > 0, the observable
+// per-slot feature vectors (aligned with Volumes).
+type Sample struct {
+	// Volumes is the slot-by-slot data volume series.
+	Volumes []float64
+	// Features[t] is the observable feature vector of slot t (nil allowed
+	// when FeatureDim == 0).
+	Features [][]float64
+	// Code is the cluster index in [0, CodeDim).
+	Code int
+}
+
+// InfoRNNGAN is the trained model.
+type InfoRNNGAN struct {
+	cfg Config
+
+	gRNN  seqBody    // generator body (BiLSTM by default; LSTM/GRU ablations)
+	gOut  int        // generator body output width
+	gHead *nn.Dense  // body output -> 1 volume (softplus)
+	dRNN  *nn.BiLSTM // discriminator body
+	dHead *nn.Dense  // 2H -> 1 real/fake logit
+	qHead *nn.Dense  // 2H -> CodeDim latent-code logits
+
+	optG *nn.Adam
+	optD *nn.Adam
+
+	rng       *rand.Rand
+	scale     float64 // volume normalisation (max of training data)
+	featScale []float64
+
+	// Diagnostics from the last Train call.
+	history TrainHistory
+}
+
+// TrainHistory records per-epoch losses for diagnostics.
+type TrainHistory struct {
+	Pretrain []float64 // supervised MSE per epoch
+	DLoss    []float64 // discriminator BCE per adversarial epoch
+	GLoss    []float64 // generator adversarial + info loss per epoch
+	QLoss    []float64 // mutual-information CE per epoch
+}
+
+// New creates an untrained Info-RNN-GAN.
+func New(cfg Config) (*InfoRNNGAN, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gIn := cfg.NoiseDim + cfg.CodeDim + cfg.FeatureDim + 1
+	dIn := 1 + cfg.CodeDim + cfg.FeatureDim
+	m := &InfoRNNGAN{
+		cfg:       cfg,
+		dRNN:      nn.NewBiLSTM(dIn, cfg.Hidden, rng),
+		rng:       rng,
+		scale:     1,
+		featScale: ones(cfg.FeatureDim),
+	}
+	switch cfg.GeneratorCell {
+	case CellLSTM:
+		m.gRNN = nn.NewLSTM(gIn, cfg.Hidden, rng)
+		m.gOut = cfg.Hidden
+	case CellGRU:
+		m.gRNN = nn.NewGRU(gIn, cfg.Hidden, rng)
+		m.gOut = cfg.Hidden
+	default:
+		m.gRNN = nn.NewBiLSTM(gIn, cfg.Hidden, rng)
+		m.gOut = 2 * cfg.Hidden
+	}
+	m.gHead = nn.NewDense(m.gOut, 1, rng)
+	m.dHead = nn.NewDense(2*cfg.Hidden, 1, rng)
+	m.qHead = nn.NewDense(2*cfg.Hidden, cfg.CodeDim, rng)
+	m.optG = &nn.Adam{LR: cfg.LR, Clip: 5}
+	m.optD = &nn.Adam{LR: cfg.LR, Clip: 5}
+	return m, nil
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// History returns the loss diagnostics of the last Train call.
+func (m *InfoRNNGAN) History() TrainHistory { return m.history }
+
+// oneHot builds the cluster part of the latent code.
+func (m *InfoRNNGAN) oneHot(code int) []float64 {
+	v := make([]float64, m.cfg.CodeDim)
+	if code >= 0 && code < m.cfg.CodeDim {
+		v[code] = 1
+	}
+	return v
+}
+
+// normFeat scales a raw feature vector by the training feature scale.
+func (m *InfoRNNGAN) normFeat(f []float64) []float64 {
+	out := make([]float64, m.cfg.FeatureDim)
+	for i := 0; i < m.cfg.FeatureDim && i < len(f); i++ {
+		out[i] = f[i] / m.featScale[i]
+	}
+	return out
+}
+
+// genInputs assembles generator inputs for a window:
+// [z^t ; onehot(code) ; feat_t ; v_{t-1}].
+func (m *InfoRNNGAN) genInputs(window []float64, feats [][]float64, code int, noisy bool) [][]float64 {
+	c := m.oneHot(code)
+	xs := make([][]float64, len(window))
+	for t := range window {
+		x := make([]float64, m.cfg.NoiseDim+m.cfg.CodeDim+m.cfg.FeatureDim+1)
+		for i := 0; i < m.cfg.NoiseDim; i++ {
+			if noisy {
+				x[i] = m.rng.NormFloat64() * 0.1
+			}
+		}
+		copy(x[m.cfg.NoiseDim:], c)
+		if m.cfg.FeatureDim > 0 && feats != nil {
+			copy(x[m.cfg.NoiseDim+m.cfg.CodeDim:], m.normFeat(feats[t]))
+		}
+		if t > 0 {
+			x[m.cfg.NoiseDim+m.cfg.CodeDim+m.cfg.FeatureDim] = window[t-1]
+		}
+		xs[t] = x
+	}
+	return xs
+}
+
+// genForward runs the generator over a (normalised) window, returning
+// predicted volumes and the raw pre-softplus activations (for backward).
+func (m *InfoRNNGAN) genForward(window []float64, feats [][]float64, code int, noisy bool) (pred, raw []float64, err error) {
+	xs := m.genInputs(window, feats, code, noisy)
+	hs, err := m.gRNN.Forward(xs)
+	if err != nil {
+		return nil, nil, err
+	}
+	ys, err := m.gHead.Forward(hs)
+	if err != nil {
+		return nil, nil, err
+	}
+	pred = make([]float64, len(ys))
+	raw = make([]float64, len(ys))
+	for t, y := range ys {
+		raw[t] = y[0]
+		pred[t] = nn.Softplus(y[0])
+	}
+	return pred, raw, nil
+}
+
+// genBackward pushes d(loss)/d(pred) through the softplus head and BPTT.
+func (m *InfoRNNGAN) genBackward(dPred, raw []float64) error {
+	dys := make([][]float64, len(dPred))
+	for t := range dPred {
+		dys[t] = []float64{dPred[t] * nn.Sigmoid(raw[t])} // softplus' = sigmoid
+	}
+	dhs, err := m.gHead.Backward(dys)
+	if err != nil {
+		return err
+	}
+	_, err = m.gRNN.Backward(dhs)
+	return err
+}
+
+// discForward scores a (normalised) volume window with its code/features:
+// returns the real/fake logit and the Q logits.
+func (m *InfoRNNGAN) discForward(window []float64, feats [][]float64, code int) (logit float64, qLogits []float64, err error) {
+	c := m.oneHot(code)
+	xs := make([][]float64, len(window))
+	for t, v := range window {
+		x := make([]float64, 1+m.cfg.CodeDim+m.cfg.FeatureDim)
+		x[0] = v
+		copy(x[1:], c)
+		if m.cfg.FeatureDim > 0 && feats != nil {
+			copy(x[1+m.cfg.CodeDim:], m.normFeat(feats[t]))
+		}
+		xs[t] = x
+	}
+	hs, err := m.dRNN.Forward(xs)
+	if err != nil {
+		return 0, nil, err
+	}
+	pooled := meanPool(hs)
+	dOut, err := m.dHead.Forward([][]float64{pooled})
+	if err != nil {
+		return 0, nil, err
+	}
+	qOut, err := m.qHead.Forward([][]float64{pooled})
+	if err != nil {
+		return 0, nil, err
+	}
+	return dOut[0][0], qOut[0], nil
+}
+
+// discBackward propagates gradients on the D logit and Q logits back through
+// the discriminator, returning d(loss)/d(volume_t) for the input window.
+func (m *InfoRNNGAN) discBackward(dLogit float64, dQ []float64, steps int) ([]float64, error) {
+	dPooled := make([]float64, 2*m.cfg.Hidden)
+	dh, err := m.dHead.Backward([][]float64{{dLogit}})
+	if err != nil {
+		return nil, err
+	}
+	for i := range dPooled {
+		dPooled[i] += dh[0][i]
+	}
+	if dQ != nil {
+		qh, err := m.qHead.Backward([][]float64{dQ})
+		if err != nil {
+			return nil, err
+		}
+		for i := range dPooled {
+			dPooled[i] += qh[0][i]
+		}
+	}
+	// Mean pool spreads gradient evenly across steps.
+	dhs := make([][]float64, steps)
+	inv := 1.0 / float64(steps)
+	for t := range dhs {
+		v := make([]float64, len(dPooled))
+		for i := range v {
+			v[i] = dPooled[i] * inv
+		}
+		dhs[t] = v
+	}
+	dxs, err := m.dRNN.Backward(dhs)
+	if err != nil {
+		return nil, err
+	}
+	dVol := make([]float64, steps)
+	for t := range dxs {
+		dVol[t] = dxs[t][0]
+	}
+	return dVol, nil
+}
+
+func meanPool(hs [][]float64) []float64 {
+	out := make([]float64, len(hs[0]))
+	for _, h := range hs {
+		for i, v := range h {
+			out[i] += v
+		}
+	}
+	inv := 1.0 / float64(len(hs))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// trainingWindow is one pooled (window, features, code) triple.
+type trainingWindow struct {
+	vols  []float64
+	feats [][]float64
+	code  int
+}
+
+// Train fits the model to the given samples (small-sample regime: a handful
+// of short series is expected). It normalises volumes and features
+// internally.
+func (m *InfoRNNGAN) Train(samples []Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("gan: no training samples")
+	}
+	// Normalisation scales.
+	m.scale = 1e-9
+	m.featScale = ones(m.cfg.FeatureDim)
+	for si, s := range samples {
+		if len(s.Volumes) < m.cfg.Window {
+			return fmt.Errorf("gan: sample %d has %d slots, window is %d", si, len(s.Volumes), m.cfg.Window)
+		}
+		if s.Code < 0 || s.Code >= m.cfg.CodeDim {
+			return fmt.Errorf("gan: sample %d code %d outside [0,%d)", si, s.Code, m.cfg.CodeDim)
+		}
+		if m.cfg.FeatureDim > 0 {
+			if len(s.Features) != len(s.Volumes) {
+				return fmt.Errorf("gan: sample %d has %d feature rows for %d volumes", si, len(s.Features), len(s.Volumes))
+			}
+			for _, f := range s.Features {
+				if len(f) != m.cfg.FeatureDim {
+					return fmt.Errorf("gan: sample %d feature width %d, want %d", si, len(f), m.cfg.FeatureDim)
+				}
+				for j, v := range f {
+					if a := math.Abs(v); a > m.featScale[j] {
+						m.featScale[j] = a
+					}
+				}
+			}
+		}
+		for _, v := range s.Volumes {
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("gan: sample %d has invalid volume %v", si, v)
+			}
+			if v > m.scale {
+				m.scale = v
+			}
+		}
+	}
+
+	// Build the window pool.
+	var pool []trainingWindow
+	for _, s := range samples {
+		norm := make([]float64, len(s.Volumes))
+		for i, v := range s.Volumes {
+			norm[i] = v / m.scale
+		}
+		for start := 0; start+m.cfg.Window <= len(norm); start++ {
+			w := trainingWindow{vols: norm[start : start+m.cfg.Window], code: s.Code}
+			if m.cfg.FeatureDim > 0 {
+				w.feats = s.Features[start : start+m.cfg.Window]
+			}
+			pool = append(pool, w)
+		}
+	}
+
+	m.history = TrainHistory{}
+	last := m.cfg.Window - 1
+
+	// Phase 1: supervised teacher forcing on the leakage-free final step.
+	for epoch := 0; epoch < m.cfg.PretrainEpochs; epoch++ {
+		total := 0.0
+		for _, wi := range m.rng.Perm(len(pool)) {
+			w := pool[wi]
+			pred, raw, err := m.genForward(w.vols, w.feats, w.code, true)
+			if err != nil {
+				return err
+			}
+			d := pred[last] - w.vols[last]
+			total += d * d
+			dPred := make([]float64, len(pred))
+			dPred[last] = 2 * d
+			if err := m.genBackward(dPred, raw); err != nil {
+				return err
+			}
+			if err := m.optG.Step(m.gRNN, m.gHead); err != nil {
+				return err
+			}
+		}
+		m.history.Pretrain = append(m.history.Pretrain, total/float64(len(pool)))
+	}
+
+	// Phase 2: adversarial refinement with the InfoGAN objective. A fake
+	// window is the real window with its final slot replaced by the
+	// generator's leakage-free final-step prediction; D judges whole
+	// windows, and gradients reach G only through that final element.
+	for epoch := 0; epoch < m.cfg.AdvEpochs; epoch++ {
+		var dTotal, gTotal, qTotal float64
+		for _, wi := range m.rng.Perm(len(pool)) {
+			w := pool[wi]
+
+			// --- Discriminator step: real up, fake down, Q on fake ---
+			pred, _, err := m.genForward(w.vols, w.feats, w.code, true)
+			if err != nil {
+				return err
+			}
+			fake := fakeWindow(w.vols, pred[last])
+			logitReal, _, err := m.discForward(w.vols, w.feats, w.code)
+			if err != nil {
+				return err
+			}
+			lossReal, gradReal := nn.BCEWithLogits(logitReal, 1)
+			if _, err := m.discBackward(gradReal, nil, len(w.vols)); err != nil {
+				return err
+			}
+			logitFake, qLogits, err := m.discForward(fake, w.feats, w.code)
+			if err != nil {
+				return err
+			}
+			lossFake, gradFake := nn.BCEWithLogits(logitFake, 0)
+			qLoss, qGrad, err := nn.CrossEntropyWithLogits(qLogits, m.oneHot(w.code))
+			if err != nil {
+				return err
+			}
+			scaleVec(qGrad, m.cfg.Lambda)
+			if _, err := m.discBackward(gradFake, qGrad, len(fake)); err != nil {
+				return err
+			}
+			if err := m.optD.Step(m.dRNN, m.dHead, m.qHead); err != nil {
+				return err
+			}
+			dTotal += lossReal + lossFake
+			qTotal += qLoss
+
+			// --- Generator step: fool D (non-saturating) + info term ---
+			pred, raw, err := m.genForward(w.vols, w.feats, w.code, true)
+			if err != nil {
+				return err
+			}
+			fake = fakeWindow(w.vols, pred[last])
+			logitFake, qLogits, err = m.discForward(fake, w.feats, w.code)
+			if err != nil {
+				return err
+			}
+			gLoss, gGrad := nn.BCEWithLogits(logitFake, 1) // -log D(fake)
+			qLossG, qGradG, err := nn.CrossEntropyWithLogits(qLogits, m.oneHot(w.code))
+			if err != nil {
+				return err
+			}
+			scaleVec(qGradG, m.cfg.Lambda)
+			nn.ZeroGrads(m.dRNN, m.dHead, m.qHead)
+			dVol, err := m.discBackward(gGrad, qGradG, len(fake))
+			if err != nil {
+				return err
+			}
+			// Only G's parameters update; clear D's incidental grads.
+			nn.ZeroGrads(m.dRNN, m.dHead, m.qHead)
+			dPred := make([]float64, len(pred))
+			// Adversarial gradient reaches G through the final slot, plus a
+			// small MSE anchor that keeps predictions on the data manifold
+			// during adversarial play (prevents drift).
+			dPred[last] = dVol[last] + 0.2*2*(pred[last]-w.vols[last])
+			if err := m.genBackward(dPred, raw); err != nil {
+				return err
+			}
+			if err := m.optG.Step(m.gRNN, m.gHead); err != nil {
+				return err
+			}
+			gTotal += gLoss + m.cfg.Lambda*qLossG
+		}
+		n := float64(len(pool))
+		m.history.DLoss = append(m.history.DLoss, dTotal/n)
+		m.history.GLoss = append(m.history.GLoss, gTotal/n)
+		m.history.QLoss = append(m.history.QLoss, qTotal/n)
+	}
+	return nil
+}
+
+func scaleVec(g []float64, lambda float64) {
+	for i := range g {
+		g[i] *= lambda
+	}
+}
+
+// fakeWindow returns the real window with its final slot replaced by the
+// generator's prediction.
+func fakeWindow(real []float64, predLast float64) []float64 {
+	out := append([]float64(nil), real...)
+	out[len(out)-1] = predLast
+	return out
+}
+
+// Predict forecasts the next slot's volume for a request with the given
+// realised volume history and latent cluster code. When the model was built
+// with FeatureDim > 0, feats must hold the observable feature vectors of the
+// history slots PLUS the upcoming slot (len(history)+1 rows) — current-slot
+// features such as hotspot occupancy are known at slot start, which is
+// exactly the information edge c^t gives the GAN over volume-only ARMA.
+func (m *InfoRNNGAN) Predict(history []float64, feats [][]float64, code int) (float64, error) {
+	if len(history) == 0 {
+		return 0, fmt.Errorf("gan: empty history")
+	}
+	if m.cfg.FeatureDim > 0 {
+		if len(feats) != len(history)+1 {
+			return 0, fmt.Errorf("gan: got %d feature rows, want len(history)+1 = %d", len(feats), len(history)+1)
+		}
+	}
+	// win[0..w-2] holds the last w-1 realised volumes and win[w-1] is a
+	// placeholder that never enters the inputs (genInputs feeds window[t-1]
+	// at step t), so pred[w-1] is the genuine next-slot forecast whose final
+	// volume input is the most recent real volume and whose feature input is
+	// the upcoming slot's observed feature vector. Inference uses z = 0 (the
+	// conditional mean); noise is only injected during training.
+	w := m.cfg.Window
+	win := make([]float64, w)
+	var fwin [][]float64
+	if m.cfg.FeatureDim > 0 {
+		fwin = make([][]float64, w)
+	}
+	for i := 0; i < w; i++ {
+		idx := len(history) - w + 1 + i
+		switch {
+		case idx < 0:
+			win[i] = history[0] / m.scale
+		case idx < len(history):
+			win[i] = history[idx] / m.scale
+		default:
+			win[i] = history[len(history)-1] / m.scale
+		}
+		if fwin != nil {
+			fidx := idx
+			if fidx < 0 {
+				fidx = 0
+			}
+			if fidx >= len(feats) {
+				fidx = len(feats) - 1
+			}
+			fwin[i] = feats[fidx]
+		}
+	}
+	pred, _, err := m.genForward(win, fwin, code, false)
+	if err != nil {
+		return 0, err
+	}
+	return pred[len(pred)-1] * m.scale, nil
+}

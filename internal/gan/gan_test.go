@@ -1,0 +1,381 @@
+package gan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/mecsim/l4e/internal/forecast"
+)
+
+func fastConfig(codeDim int) Config {
+	cfg := DefaultConfig(codeDim)
+	cfg.PretrainEpochs = 30
+	cfg.AdvEpochs = 10
+	cfg.Hidden = 8
+	cfg.FeatureDim = 0
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(4).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.NoiseDim = -1 },
+		func(c *Config) { c.CodeDim = 0 },
+		func(c *Config) { c.Hidden = 0 },
+		func(c *Config) { c.Lambda = -1 },
+		func(c *Config) { c.LR = 0 },
+		func(c *Config) { c.Window = 1 },
+		func(c *Config) { c.PretrainEpochs = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig(4)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTrainInputValidation(t *testing.T) {
+	m, err := New(fastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if err := m.Train([]Sample{{Volumes: []float64{1, 2}, Code: 0}}); err == nil {
+		t.Error("short sample accepted")
+	}
+	long := make([]float64, 20)
+	if err := m.Train([]Sample{{Volumes: long, Code: 5}}); err == nil {
+		t.Error("out-of-range code accepted")
+	}
+	long[3] = math.NaN()
+	if err := m.Train([]Sample{{Volumes: long, Code: 0}}); err == nil {
+		t.Error("NaN volume accepted")
+	}
+	if _, err := m.Predict(nil, nil, 0); err == nil {
+		t.Error("empty history accepted")
+	}
+}
+
+// trainOnTwoLevels fits a model where cluster 0 holds volume ~2 and cluster 1
+// holds volume ~10.
+func trainOnTwoLevels(t *testing.T, seed int64) *InfoRNNGAN {
+	t.Helper()
+	cfg := fastConfig(2)
+	cfg.Seed = seed
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mkSeries := func(level float64) []float64 {
+		s := make([]float64, 40)
+		for i := range s {
+			s[i] = level + rng.NormFloat64()*0.2
+		}
+		return s
+	}
+	samples := []Sample{
+		{Volumes: mkSeries(2), Code: 0},
+		{Volumes: mkSeries(10), Code: 1},
+		{Volumes: mkSeries(2), Code: 0},
+		{Volumes: mkSeries(10), Code: 1},
+	}
+	if err := m.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTrainLearnsClusterLevels(t *testing.T) {
+	m := trainOnTwoLevels(t, 3)
+	histLow := []float64{2, 2, 2, 2, 2, 2, 2, 2}
+	histHigh := []float64{10, 10, 10, 10, 10, 10, 10, 10}
+	predLow, err := m.Predict(histLow, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predHigh, err := m.Predict(histHigh, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(predLow-2) > 2 {
+		t.Errorf("cluster-0 prediction = %v, want ~2", predLow)
+	}
+	if math.Abs(predHigh-10) > 3 {
+		t.Errorf("cluster-1 prediction = %v, want ~10", predHigh)
+	}
+	if predHigh <= predLow {
+		t.Errorf("predictions do not separate clusters: %v vs %v", predLow, predHigh)
+	}
+}
+
+func TestPretrainLossDecreases(t *testing.T) {
+	m := trainOnTwoLevels(t, 4)
+	h := m.History()
+	if len(h.Pretrain) == 0 {
+		t.Fatal("no pretrain history recorded")
+	}
+	first, last := h.Pretrain[0], h.Pretrain[len(h.Pretrain)-1]
+	if last >= first {
+		t.Errorf("pretrain loss did not decrease: %v -> %v", first, last)
+	}
+	if len(h.DLoss) == 0 || len(h.GLoss) == 0 || len(h.QLoss) == 0 {
+		t.Error("adversarial loss histories missing")
+	}
+}
+
+func TestQRecoverssLatentCode(t *testing.T) {
+	m := trainOnTwoLevels(t, 5)
+	// Q should classify normalised real windows into the right cluster
+	// above chance.
+	correct, total := 0, 0
+	for code, level := range map[int]float64{0: 2, 1: 10} {
+		win := make([]float64, m.cfg.Window)
+		for i := range win {
+			win[i] = level / m.scale
+		}
+		_, q, err := m.discForward(win, nil, code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arg := 0
+		if q[1] > q[0] {
+			arg = 1
+		}
+		if arg == code {
+			correct++
+		}
+		total++
+	}
+	if correct < total {
+		t.Logf("Q recovered %d/%d codes (mutual-information head still useful via gradients)", correct, total)
+	}
+	if correct == 0 {
+		t.Error("Q recovered no codes at all")
+	}
+}
+
+func TestPredictTracksBurstRegime(t *testing.T) {
+	// Markov burst series: calm level 2, burst level 12, sticky regimes.
+	// After training, prediction following a run of burst slots must be
+	// clearly higher than after calm slots.
+	cfg := fastConfig(1)
+	cfg.Seed = 7
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	series := make([]float64, 80)
+	burst := false
+	for i := range series {
+		if burst {
+			burst = rng.Float64() < 0.8
+		} else {
+			burst = rng.Float64() < 0.1
+		}
+		if burst {
+			series[i] = 12 + rng.NormFloat64()
+		} else {
+			series[i] = 2 + rng.NormFloat64()*0.3
+		}
+	}
+	if err := m.Train([]Sample{{Volumes: series, Code: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	calmHist := []float64{2, 2, 2, 2, 2, 2, 2, 2}
+	burstHist := []float64{2, 2, 2, 12, 12, 12, 12, 12}
+	calmPred, err := m.Predict(calmHist, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burstPred, err := m.Predict(burstHist, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burstPred <= calmPred+2 {
+		t.Errorf("burst prediction %v not clearly above calm %v", burstPred, calmPred)
+	}
+}
+
+// genBurstyWithFeatures produces a Markov-regime volume series plus an
+// observable per-slot feature (hotspot occupancy) correlated with the
+// current regime — the hidden-user-feature channel c^t of the paper. The
+// feature is noisy, not a clean label.
+func genBurstyWithFeatures(rng *rand.Rand, n int) (vols []float64, feats [][]float64) {
+	vols = make([]float64, n)
+	feats = make([][]float64, n)
+	burst := false
+	for i := range vols {
+		if burst {
+			burst = rng.Float64() < 0.8
+		} else {
+			burst = rng.Float64() < 0.1
+		}
+		occ := 1 + rng.NormFloat64()*0.3
+		if burst {
+			vols[i] = 12 + rng.NormFloat64()*0.5
+			occ += 2
+		} else {
+			vols[i] = 2 + rng.NormFloat64()*0.3
+		}
+		feats[i] = []float64{occ}
+	}
+	return vols, feats
+}
+
+func TestGANBeatsARMAOnRegimeSwitches(t *testing.T) {
+	// The paper's Fig. 6 rationale: the GAN conditions on current-slot
+	// hidden user features (c^t — e.g. hotspot occupancy, observable at
+	// slot start) that volume-only ARMA cannot see, so it anticipates burst
+	// onsets instead of lagging one slot behind. Comparison metric is RMSE
+	// because the MSE-trained GAN estimates the conditional mean.
+	cfg := fastConfig(1)
+	cfg.FeatureDim = 1
+	cfg.Seed = 11
+	cfg.PretrainEpochs = 50
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]Sample, 4)
+	for i := range samples {
+		v, f := genBurstyWithFeatures(rng, 60)
+		samples[i] = Sample{Volumes: v, Features: f, Code: 0}
+	}
+	test, testFeats := genBurstyWithFeatures(rng, 120)
+	if err := m.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+
+	arma, err := forecast.NewARMA(4, test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ganSE, armaSE float64
+	n := 0
+	for i := range test {
+		if i >= 10 {
+			pred, err := m.Predict(test[:i], testFeats[:i+1], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ganSE += (pred - test[i]) * (pred - test[i])
+			d := arma.Predict() - test[i]
+			armaSE += d * d
+			n++
+		}
+		arma.Observe(test[i])
+	}
+	ganRMSE := math.Sqrt(ganSE / float64(n))
+	armaRMSE := math.Sqrt(armaSE / float64(n))
+	t.Logf("GAN RMSE %.3f vs ARMA RMSE %.3f", ganRMSE, armaRMSE)
+	if ganRMSE >= armaRMSE {
+		t.Errorf("feature-conditioned GAN RMSE %v did not beat ARMA %v", ganRMSE, armaRMSE)
+	}
+}
+
+func TestPredictFeatureValidation(t *testing.T) {
+	cfg := fastConfig(1)
+	cfg.FeatureDim = 1
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	v, f := genBurstyWithFeatures(rng, 30)
+	if err := m.Train([]Sample{{Volumes: v, Features: f, Code: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong feature row count must be rejected.
+	if _, err := m.Predict(v[:10], f[:10], 0); err == nil {
+		t.Error("short feature matrix accepted")
+	}
+	if _, err := m.Predict(v[:10], f[:11], 0); err != nil {
+		t.Errorf("valid feature matrix rejected: %v", err)
+	}
+	// Training-side validation.
+	if err := m.Train([]Sample{{Volumes: v, Features: f[:5], Code: 0}}); err == nil {
+		t.Error("mismatched feature rows accepted in training")
+	}
+	if err := m.Train([]Sample{{Volumes: v, Features: make([][]float64, len(v)), Code: 0}}); err == nil {
+		t.Error("wrong-width features accepted in training")
+	}
+}
+
+func TestPredictWithShortHistory(t *testing.T) {
+	m := trainOnTwoLevels(t, 13)
+	pred, err := m.Predict([]float64{2}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred < 0 || math.IsNaN(pred) {
+		t.Errorf("short-history prediction = %v", pred)
+	}
+}
+
+func TestPredictionsArePositive(t *testing.T) {
+	m := trainOnTwoLevels(t, 17)
+	for _, h := range [][]float64{{0.1, 0.1}, {2, 5, 9}, {10, 10, 10, 10, 10, 10, 10, 10, 10}} {
+		p, err := m.Predict(h, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0 {
+			t.Errorf("negative volume prediction %v for history %v", p, h)
+		}
+	}
+}
+
+func TestGeneratorCellAblation(t *testing.T) {
+	// All three generator cells must train and predict; the unidirectional
+	// cells have no future inputs at all, so they share the final-step
+	// protocol trivially.
+	for _, cell := range []Cell{CellBiLSTM, CellLSTM, CellGRU} {
+		cfg := fastConfig(1)
+		cfg.GeneratorCell = cell
+		cfg.PretrainEpochs = 20
+		cfg.AdvEpochs = 3
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cell, err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		series := make([]float64, 40)
+		for i := range series {
+			series[i] = 5 + rng.NormFloat64()*0.3
+		}
+		if err := m.Train([]Sample{{Volumes: series, Code: 0}}); err != nil {
+			t.Fatalf("%v train: %v", cell, err)
+		}
+		pred, err := m.Predict(series[:20], nil, 0)
+		if err != nil {
+			t.Fatalf("%v predict: %v", cell, err)
+		}
+		if math.Abs(pred-5) > 3 {
+			t.Errorf("%v: prediction %v far from level 5", cell, pred)
+		}
+	}
+}
+
+func TestCellString(t *testing.T) {
+	if CellBiLSTM.String() != "bilstm" || CellLSTM.String() != "lstm" || CellGRU.String() != "gru" {
+		t.Error("cell strings wrong")
+	}
+	if Cell(9).String() != "Cell(9)" {
+		t.Error("invalid cell string wrong")
+	}
+	cfg := DefaultConfig(1)
+	cfg.GeneratorCell = Cell(9)
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid cell accepted")
+	}
+}

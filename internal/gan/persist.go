@@ -1,0 +1,79 @@
+package gan
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/mecsim/l4e/internal/nn"
+)
+
+// snapshot is the gob-serialisable state of a trained model: configuration,
+// normalisation scales, and every parameter tensor in a fixed order.
+type snapshot struct {
+	Config    Config
+	Scale     float64
+	FeatScale []float64
+	Params    [][]float64
+	History   TrainHistory
+}
+
+// orderedParams returns every learnable tensor in a deterministic order.
+func (m *InfoRNNGAN) orderedParams() []*nn.Param {
+	var out []*nn.Param
+	for _, mod := range []nn.Module{m.gRNN, m.gHead, m.dRNN, m.dHead, m.qHead} {
+		out = append(out, mod.Params()...)
+	}
+	return out
+}
+
+// Save serialises the trained model so a caching controller can persist its
+// predictor across restarts (training on small samples is cheap but not
+// free; a saved model predicts immediately).
+func (m *InfoRNNGAN) Save(w io.Writer) error {
+	snap := snapshot{
+		Config:    m.cfg,
+		Scale:     m.scale,
+		FeatScale: m.featScale,
+		History:   m.history,
+	}
+	for _, p := range m.orderedParams() {
+		snap.Params = append(snap.Params, p.W)
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("gan: encoding model: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a model saved with Save.
+func Load(r io.Reader) (*InfoRNNGAN, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("gan: decoding model: %w", err)
+	}
+	m, err := New(snap.Config)
+	if err != nil {
+		return nil, fmt.Errorf("gan: restoring model: %w", err)
+	}
+	params := m.orderedParams()
+	if len(params) != len(snap.Params) {
+		return nil, fmt.Errorf("gan: snapshot has %d tensors, model needs %d", len(snap.Params), len(params))
+	}
+	for i, p := range params {
+		if len(p.W) != len(snap.Params[i]) {
+			return nil, fmt.Errorf("gan: tensor %d has %d weights, model needs %d", i, len(snap.Params[i]), len(p.W))
+		}
+		copy(p.W, snap.Params[i])
+	}
+	m.scale = snap.Scale
+	if snap.Scale <= 0 {
+		return nil, fmt.Errorf("gan: snapshot has invalid scale %v", snap.Scale)
+	}
+	if len(snap.FeatScale) != m.cfg.FeatureDim {
+		return nil, fmt.Errorf("gan: snapshot has %d feature scales, model needs %d", len(snap.FeatScale), m.cfg.FeatureDim)
+	}
+	m.featScale = snap.FeatScale
+	m.history = snap.History
+	return m, nil
+}

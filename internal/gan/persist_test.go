@@ -1,0 +1,46 @@
+package gan
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := trainOnTwoLevels(t, 41)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must match exactly (noise off at inference).
+	hist := []float64{2, 2, 2, 2, 2, 2, 2, 2}
+	want, err := m.Predict(hist, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Predict(hist, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want-got) > 1e-12 {
+		t.Errorf("loaded prediction %v != original %v", got, want)
+	}
+	// History survives too.
+	if len(loaded.History().Pretrain) != len(m.History().Pretrain) {
+		t.Error("training history lost in round trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}

@@ -1,0 +1,119 @@
+// Package ilp provides a small branch-and-bound solver for integer linear
+// programs over internal/lp, used to compute exact optima of ILP (3)-(7) on
+// tiny instances — the ground truth for optimality-gap and regret
+// experiments. It branches on the most fractional binary variable and prunes
+// with LP bounds.
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mecsim/l4e/internal/lp"
+)
+
+// Result is the outcome of a branch-and-bound solve.
+type Result struct {
+	// Objective is the best integer objective found.
+	Objective float64
+	// X is the best integer solution (full variable vector).
+	X []float64
+	// Nodes is the number of explored branch-and-bound nodes.
+	Nodes int
+	// Optimal reports whether the search completed (false = node budget
+	// exhausted; the result is then the best incumbent).
+	Optimal bool
+}
+
+// Solve minimises the problem with the listed variables restricted to {0,1}.
+// maxNodes bounds the search tree (0 means a generous default).
+//
+// The builder callback must return a fresh copy of the problem each time it
+// is called (branch constraints are added destructively).
+func Solve(build func() *lp.Problem, binaryVars []int, maxNodes int) (*Result, error) {
+	if build == nil {
+		return nil, fmt.Errorf("ilp: nil problem builder")
+	}
+	if maxNodes <= 0 {
+		maxNodes = 100000
+	}
+
+	type node struct {
+		fixZero []int
+		fixOne  []int
+	}
+	res := &Result{Objective: math.Inf(1)}
+	stack := []node{{}}
+
+	solveNode := func(n node) (*lp.Solution, error) {
+		p := build()
+		for _, j := range n.fixZero {
+			if err := p.AddConstraint([]int{j}, []float64{1}, lp.LE, 0); err != nil {
+				return nil, err
+			}
+		}
+		for _, j := range n.fixOne {
+			if err := p.AddConstraint([]int{j}, []float64{1}, lp.GE, 1); err != nil {
+				return nil, err
+			}
+		}
+		return p.Solve()
+	}
+
+	isBinary := make(map[int]bool, len(binaryVars))
+	for _, j := range binaryVars {
+		isBinary[j] = true
+	}
+
+	for len(stack) > 0 {
+		if res.Nodes >= maxNodes {
+			return res, nil
+		}
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+
+		sol, err := solveNode(n)
+		if err != nil {
+			// Infeasible subproblem: prune. Other errors propagate.
+			if sol != nil && sol.Status == lp.StatusInfeasible {
+				continue
+			}
+			if sol != nil && sol.Status == lp.StatusIterLimit {
+				continue // treat as unexplorable; incumbent remains valid
+			}
+			return nil, err
+		}
+		if sol.Objective >= res.Objective-1e-9 {
+			continue // bound prune
+		}
+
+		// Find the most fractional binary variable.
+		branch, fr := -1, 0.0
+		for _, j := range binaryVars {
+			v := sol.X[j]
+			f := math.Min(v-math.Floor(v), math.Ceil(v)-v)
+			frac := math.Abs(v - math.Round(v))
+			if frac > 1e-6 && f > fr {
+				branch, fr = j, f
+			}
+		}
+		if branch < 0 {
+			// Integer solution: new incumbent.
+			if sol.Objective < res.Objective {
+				res.Objective = sol.Objective
+				res.X = append(res.X[:0], sol.X...)
+			}
+			continue
+		}
+		stack = append(stack,
+			node{fixZero: append(append([]int(nil), n.fixZero...), branch), fixOne: n.fixOne},
+			node{fixZero: n.fixZero, fixOne: append(append([]int(nil), n.fixOne...), branch)},
+		)
+	}
+	if math.IsInf(res.Objective, 1) {
+		return nil, fmt.Errorf("ilp: no integer-feasible solution found in %d nodes", res.Nodes)
+	}
+	res.Optimal = true
+	return res, nil
+}

@@ -1,0 +1,265 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/mecsim/l4e/internal/caching"
+	"github.com/mecsim/l4e/internal/lp"
+)
+
+func TestSolveKnapsack(t *testing.T) {
+	// max 6x1 + 10x2 + 12x3 st x1 + 2x2 + 3x3 <= 5, binary.
+	// Optimal: x2 = x3 = 1, value 22 -> minimize negative: -22.
+	build := func() *lp.Problem {
+		p := lp.NewProblem()
+		p.AddBoundedVariable(-6, 1, "x1")
+		p.AddBoundedVariable(-10, 1, "x2")
+		p.AddBoundedVariable(-12, 1, "x3")
+		if err := p.AddConstraint([]int{0, 1, 2}, []float64{1, 2, 3}, lp.LE, 5); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	res, err := Solve(build, []int{0, 1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Error("search did not complete")
+	}
+	if math.Abs(res.Objective-(-22)) > 1e-6 {
+		t.Errorf("objective = %v, want -22", res.Objective)
+	}
+	if math.Round(res.X[0]) != 0 || math.Round(res.X[1]) != 1 || math.Round(res.X[2]) != 1 {
+		t.Errorf("solution = %v, want [0 1 1]", res.X)
+	}
+}
+
+func TestSolveAlreadyIntegral(t *testing.T) {
+	// LP relaxation is naturally integral: one node suffices.
+	build := func() *lp.Problem {
+		p := lp.NewProblem()
+		p.AddBoundedVariable(1, 1, "x")
+		p.AddBoundedVariable(2, 1, "y")
+		if err := p.AddConstraint([]int{0, 1}, []float64{1, 1}, lp.GE, 1); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	res, err := Solve(build, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-1) > 1e-6 {
+		t.Errorf("objective = %v, want 1", res.Objective)
+	}
+	if res.Nodes != 1 {
+		t.Errorf("nodes = %d, want 1", res.Nodes)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	build := func() *lp.Problem {
+		p := lp.NewProblem()
+		p.AddBoundedVariable(1, 1, "x")
+		if err := p.AddConstraint([]int{0}, []float64{1}, lp.GE, 2); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := Solve(build, []int{0}, 0); err == nil {
+		t.Error("infeasible ILP accepted")
+	}
+}
+
+func TestSolveNilBuilder(t *testing.T) {
+	if _, err := Solve(nil, nil, 0); err == nil {
+		t.Error("nil builder accepted")
+	}
+}
+
+func TestSolveNodeBudget(t *testing.T) {
+	// A tiny budget on a problem needing branching returns a non-optimal
+	// (possibly empty) incumbent without error only if an incumbent exists;
+	// with budget 1 the root LP is fractional, so no incumbent: the search
+	// stops and reports best = +Inf via Optimal=false path. We accept either
+	// an incumbent or the budget-stopped result.
+	build := func() *lp.Problem {
+		p := lp.NewProblem()
+		p.AddBoundedVariable(-1, 1, "x")
+		p.AddBoundedVariable(-1, 1, "y")
+		if err := p.AddConstraint([]int{0, 1}, []float64{1, 1}, lp.LE, 1.5); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	res, err := Solve(build, []int{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimal {
+		t.Error("budget-capped search claimed optimality")
+	}
+}
+
+// TestCachingILPExactOptimum cross-checks B&B against brute force on tiny
+// caching instances, and verifies the LP relaxation lower-bounds it.
+func TestCachingILPExactOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		prob := &caching.Problem{
+			NumStations: 3,
+			NumServices: 2,
+			CUnit:       10,
+			CapacityMHz: []float64{60, 60, 60},
+			UnitDelayMS: []float64{5 + rng.Float64()*10, 5 + rng.Float64()*10, 5 + rng.Float64()*10},
+			InstDelayMS: [][]float64{
+				{2 + rng.Float64()*5, 2 + rng.Float64()*5},
+				{2 + rng.Float64()*5, 2 + rng.Float64()*5},
+				{2 + rng.Float64()*5, 2 + rng.Float64()*5},
+			},
+		}
+		for l := 0; l < 4; l++ {
+			prob.Requests = append(prob.Requests, caching.RequestSpec{
+				ID: l, Service: l % 2, Volume: 1 + rng.Float64()*2,
+			})
+		}
+
+		// Brute force over all 3^4 assignments.
+		best := math.Inf(1)
+		var assign [4]int
+		var rec func(l int)
+		rec = func(l int) {
+			if l == 4 {
+				a := &caching.Assignment{BS: assign[:]}
+				load := make([]float64, 3)
+				for l2, i := range a.BS {
+					load[i] += prob.Requests[l2].Volume * prob.CUnit
+				}
+				for i, u := range load {
+					if u > prob.CapacityMHz[i] {
+						return
+					}
+				}
+				if c := prob.EstimatedCost(a); c < best {
+					best = c
+				}
+				return
+			}
+			for i := 0; i < 3; i++ {
+				assign[l] = i
+				rec(l + 1)
+			}
+		}
+		rec(0)
+
+		// B&B over the exact ILP lowering.
+		res, err := Solve(func() *lp.Problem { return buildCachingILP(prob) }, binaryVarsFor(prob), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Objective-best) > 1e-6 {
+			t.Errorf("trial %d: B&B %v vs brute force %v", trial, res.Objective, best)
+		}
+		// LP relaxation must lower-bound the ILP optimum.
+		frac, err := prob.SolveLPExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frac.Objective > res.Objective+1e-6 {
+			t.Errorf("trial %d: LP %v above ILP %v", trial, frac.Objective, res.Objective)
+		}
+	}
+}
+
+// buildCachingILP lowers a caching problem to an lp.Problem (same layout as
+// caching.SolveLPExact: x variables first, then y).
+func buildCachingILP(p *caching.Problem) *lp.Problem {
+	L, N, K := len(p.Requests), p.NumStations, p.NumServices
+	prob := lp.NewProblem()
+	invR := 1.0 / float64(L)
+	for l := 0; l < L; l++ {
+		for i := 0; i < N; i++ {
+			prob.AddBoundedVariable(invR*p.AssignCost(l, i), 1, "")
+		}
+	}
+	for k := 0; k < K; k++ {
+		for i := 0; i < N; i++ {
+			prob.AddBoundedVariable(invR*p.InstDelayMS[i][k], 1, "")
+		}
+	}
+	xIdx := func(l, i int) int { return l*N + i }
+	yIdx := func(k, i int) int { return L*N + k*N + i }
+	for l := 0; l < L; l++ {
+		cols := make([]int, N)
+		coefs := make([]float64, N)
+		for i := 0; i < N; i++ {
+			cols[i], coefs[i] = xIdx(l, i), 1
+		}
+		if err := prob.AddConstraint(cols, coefs, lp.EQ, 1); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < N; i++ {
+		cols := make([]int, L)
+		coefs := make([]float64, L)
+		for l := 0; l < L; l++ {
+			cols[l], coefs[l] = xIdx(l, i), p.Requests[l].Volume*p.CUnit
+		}
+		if err := prob.AddConstraint(cols, coefs, lp.LE, p.CapacityMHz[i]); err != nil {
+			panic(err)
+		}
+	}
+	for l := 0; l < L; l++ {
+		k := p.Requests[l].Service
+		for i := 0; i < N; i++ {
+			if err := prob.AddConstraint([]int{yIdx(k, i), xIdx(l, i)}, []float64{1, -1}, lp.GE, 0); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return prob
+}
+
+func binaryVarsFor(p *caching.Problem) []int {
+	n := len(p.Requests)*p.NumStations + p.NumServices*p.NumStations
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = i
+	}
+	return vars
+}
+
+// TestPropertyILPAtLeastLP checks ILP optimum >= LP relaxation on random
+// tiny instances.
+func TestPropertyILPAtLeastLP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prob := &caching.Problem{
+			NumStations: 2,
+			NumServices: 1,
+			CUnit:       10,
+			CapacityMHz: []float64{80, 80},
+			UnitDelayMS: []float64{5 + rng.Float64()*10, 5 + rng.Float64()*10},
+			InstDelayMS: [][]float64{{2 + rng.Float64()*4}, {2 + rng.Float64()*4}},
+		}
+		for l := 0; l < 3; l++ {
+			prob.Requests = append(prob.Requests, caching.RequestSpec{ID: l, Service: 0, Volume: 1 + rng.Float64()*2})
+		}
+		res, err := Solve(func() *lp.Problem { return buildCachingILP(prob) }, binaryVarsFor(prob), 0)
+		if err != nil {
+			return false
+		}
+		frac, err := prob.SolveLPExact()
+		if err != nil {
+			return false
+		}
+		return frac.Objective <= res.Objective+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dropout randomly zeroes a fraction of activations during training
+// (inverted dropout: survivors are scaled by 1/(1-rate) so evaluation needs
+// no rescaling). It has no parameters; call SetTraining(false) for
+// inference. Dropout regularises the small-sample GAN training where the
+// Bi-LSTM would otherwise memorise the handful of windows it sees.
+type Dropout struct {
+	rate     float64
+	rng      *rand.Rand
+	training bool
+	masks    [][]float64 // cached masks of the last Forward
+}
+
+// NewDropout builds a dropout layer with the given drop rate in [0, 1).
+func NewDropout(rate float64, rng *rand.Rand) (*Dropout, error) {
+	if rate < 0 || rate >= 1 {
+		return nil, fmt.Errorf("nn: dropout rate %v outside [0,1)", rate)
+	}
+	return &Dropout{rate: rate, rng: rng, training: true}, nil
+}
+
+// Params implements Module (dropout has none).
+func (d *Dropout) Params() []*Param { return nil }
+
+// SetTraining toggles between training (masking) and inference (identity).
+func (d *Dropout) SetTraining(on bool) { d.training = on }
+
+// Forward applies the mask per step.
+func (d *Dropout) Forward(xs [][]float64) ([][]float64, error) {
+	ys := make([][]float64, len(xs))
+	d.masks = make([][]float64, len(xs))
+	keep := 1 - d.rate
+	for t, x := range xs {
+		y := make([]float64, len(x))
+		mask := make([]float64, len(x))
+		for i, v := range x {
+			m := 1.0
+			if d.training && d.rate > 0 {
+				if d.rng.Float64() < d.rate {
+					m = 0
+				} else {
+					m = 1 / keep
+				}
+			}
+			mask[i] = m
+			y[i] = v * m
+		}
+		ys[t] = y
+		d.masks[t] = mask
+	}
+	return ys, nil
+}
+
+// Backward propagates gradients through the cached masks.
+func (d *Dropout) Backward(dys [][]float64) ([][]float64, error) {
+	if len(dys) != len(d.masks) {
+		return nil, fmt.Errorf("nn: dropout backward got %d steps, forward had %d", len(dys), len(d.masks))
+	}
+	dxs := make([][]float64, len(dys))
+	for t, dy := range dys {
+		if len(dy) != len(d.masks[t]) {
+			return nil, fmt.Errorf("nn: dropout upstream grad %d has size %d, want %d", t, len(dy), len(d.masks[t]))
+		}
+		dx := make([]float64, len(dy))
+		for i, g := range dy {
+			dx[i] = g * d.masks[t][i]
+		}
+		dxs[t] = dx
+	}
+	return dxs, nil
+}
+
+var _ Module = (*Dropout)(nil)

@@ -1,0 +1,421 @@
+// Package nn is a minimal, dependency-free neural-network substrate built
+// for the Info-RNN-GAN of Section V: dense layers, LSTM and bidirectional
+// LSTM sequence modules with full backpropagation through time, standard
+// activations and losses, and SGD/Adam optimizers. The Go ecosystem has no
+// stdlib deep-learning stack, so the substrate is implemented from scratch;
+// dimensions in this system are small (the paper's whole point is learning
+// from SMALL samples), which keeps pure-Go CPU training fast.
+//
+// Design: modules operate on sequences ([][]float64, one vector per time
+// slot). Forward passes cache activations; Backward consumes upstream
+// gradients in the same shape, accumulates parameter gradients, and returns
+// input gradients. Parameters are exposed through Params() for optimizers.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is one learnable tensor (flattened) with its gradient accumulator.
+type Param struct {
+	Name string
+	W    []float64
+	G    []float64
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Module is any component with learnable parameters.
+type Module interface {
+	Params() []*Param
+}
+
+// ZeroGrads clears gradients of every parameter in the modules.
+func ZeroGrads(ms ...Module) {
+	for _, m := range ms {
+		for _, p := range m.Params() {
+			p.ZeroGrad()
+		}
+	}
+}
+
+// newParam allocates a parameter with Xavier/Glorot uniform initialisation
+// for a fanIn x fanOut weight (pass fanOut 0 for bias-like zero init).
+func newParam(name string, size, fanIn, fanOut int, rng *rand.Rand) *Param {
+	p := &Param{Name: name, W: make([]float64, size), G: make([]float64, size)}
+	if fanOut > 0 {
+		limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+		for i := range p.W {
+			p.W[i] = (rng.Float64()*2 - 1) * limit
+		}
+	}
+	return p
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// Softplus is log(1+e^x), a smooth positive activation.
+func Softplus(x float64) float64 {
+	if x > 30 {
+		return x
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// Softmax returns the softmax of v (numerically stable).
+func Softmax(v []float64) []float64 {
+	maxV := math.Inf(-1)
+	for _, x := range v {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	out := make([]float64, len(v))
+	sum := 0.0
+	for i, x := range v {
+		out[i] = math.Exp(x - maxV)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Dense is a fully connected layer applied independently per time step:
+// y_t = W x_t + b.
+type Dense struct {
+	in, out int
+	w, b    *Param
+	xs      [][]float64 // cached inputs of the last Forward
+}
+
+// NewDense builds an in -> out affine layer.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	return &Dense{
+		in:  in,
+		out: out,
+		w:   newParam("dense.w", out*in, in, out, rng),
+		b:   newParam("dense.b", out, 0, 0, rng),
+	}
+}
+
+// Params implements Module.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Forward applies the layer to each step of the sequence.
+func (d *Dense) Forward(xs [][]float64) ([][]float64, error) {
+	ys := make([][]float64, len(xs))
+	for t, x := range xs {
+		if len(x) != d.in {
+			return nil, fmt.Errorf("nn: dense input %d has size %d, want %d", t, len(x), d.in)
+		}
+		y := make([]float64, d.out)
+		for o := 0; o < d.out; o++ {
+			s := d.b.W[o]
+			row := d.w.W[o*d.in : (o+1)*d.in]
+			for i, xi := range x {
+				s += row[i] * xi
+			}
+			y[o] = s
+		}
+		ys[t] = y
+	}
+	d.xs = xs
+	return ys, nil
+}
+
+// Backward consumes upstream gradients, accumulates dW/dB, and returns input
+// gradients. Must follow a Forward with a matching sequence length.
+func (d *Dense) Backward(dys [][]float64) ([][]float64, error) {
+	if len(dys) != len(d.xs) {
+		return nil, fmt.Errorf("nn: dense backward got %d steps, forward had %d", len(dys), len(d.xs))
+	}
+	dxs := make([][]float64, len(dys))
+	for t, dy := range dys {
+		if len(dy) != d.out {
+			return nil, fmt.Errorf("nn: dense upstream grad %d has size %d, want %d", t, len(dy), d.out)
+		}
+		x := d.xs[t]
+		dx := make([]float64, d.in)
+		for o := 0; o < d.out; o++ {
+			g := dy[o]
+			if g == 0 {
+				continue
+			}
+			d.b.G[o] += g
+			row := d.w.W[o*d.in : (o+1)*d.in]
+			gRow := d.w.G[o*d.in : (o+1)*d.in]
+			for i := range x {
+				gRow[i] += g * x[i]
+				dx[i] += g * row[i]
+			}
+		}
+		dxs[t] = dx
+	}
+	return dxs, nil
+}
+
+// lstmCache stores one step's intermediate activations for BPTT.
+type lstmCache struct {
+	x          []float64
+	i, f, o, g []float64 // gate activations
+	c, h       []float64 // cell and hidden states after the step
+	cPrev      []float64
+	hPrev      []float64
+	tanhC      []float64
+}
+
+// LSTM is a single-direction LSTM over sequences with full BPTT.
+type LSTM struct {
+	in, hidden int
+	wx         *Param // 4H x I, gate order [i f o g]
+	wh         *Param // 4H x H
+	b          *Param // 4H
+	caches     []lstmCache
+}
+
+// NewLSTM builds an LSTM with the given input and hidden sizes. The forget
+// gate bias is initialised to 1 (standard practice for gradient flow).
+func NewLSTM(in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		in:     in,
+		hidden: hidden,
+		wx:     newParam("lstm.wx", 4*hidden*in, in+hidden, hidden, rng),
+		wh:     newParam("lstm.wh", 4*hidden*hidden, in+hidden, hidden, rng),
+		b:      newParam("lstm.b", 4*hidden, 0, 0, rng),
+	}
+	for j := hidden; j < 2*hidden; j++ { // forget-gate block
+		l.b.W[j] = 1
+	}
+	return l
+}
+
+// Params implements Module.
+func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }
+
+// HiddenSize returns H.
+func (l *LSTM) HiddenSize() int { return l.hidden }
+
+// Forward runs the sequence and returns hidden states h_1..h_T.
+func (l *LSTM) Forward(xs [][]float64) ([][]float64, error) {
+	H := l.hidden
+	l.caches = make([]lstmCache, 0, len(xs))
+	h := make([]float64, H)
+	c := make([]float64, H)
+	hs := make([][]float64, len(xs))
+	for t, x := range xs {
+		if len(x) != l.in {
+			return nil, fmt.Errorf("nn: lstm input %d has size %d, want %d", t, len(x), l.in)
+		}
+		pre := make([]float64, 4*H)
+		copy(pre, l.b.W)
+		for j := 0; j < 4*H; j++ {
+			rowX := l.wx.W[j*l.in : (j+1)*l.in]
+			s := pre[j]
+			for i, xi := range x {
+				s += rowX[i] * xi
+			}
+			rowH := l.wh.W[j*H : (j+1)*H]
+			for i, hi := range h {
+				s += rowH[i] * hi
+			}
+			pre[j] = s
+		}
+		cache := lstmCache{
+			x:     x,
+			i:     make([]float64, H),
+			f:     make([]float64, H),
+			o:     make([]float64, H),
+			g:     make([]float64, H),
+			c:     make([]float64, H),
+			h:     make([]float64, H),
+			tanhC: make([]float64, H),
+			cPrev: c,
+			hPrev: h,
+		}
+		newC := make([]float64, H)
+		newH := make([]float64, H)
+		for j := 0; j < H; j++ {
+			cache.i[j] = Sigmoid(pre[j])
+			cache.f[j] = Sigmoid(pre[H+j])
+			cache.o[j] = Sigmoid(pre[2*H+j])
+			cache.g[j] = math.Tanh(pre[3*H+j])
+			newC[j] = cache.f[j]*c[j] + cache.i[j]*cache.g[j]
+			cache.tanhC[j] = math.Tanh(newC[j])
+			newH[j] = cache.o[j] * cache.tanhC[j]
+		}
+		copy(cache.c, newC)
+		copy(cache.h, newH)
+		c, h = newC, newH
+		hs[t] = newH
+		l.caches = append(l.caches, cache)
+	}
+	return hs, nil
+}
+
+// Backward consumes gradients on the hidden states and returns input
+// gradients, accumulating parameter gradients (BPTT).
+func (l *LSTM) Backward(dhs [][]float64) ([][]float64, error) {
+	if len(dhs) != len(l.caches) {
+		return nil, fmt.Errorf("nn: lstm backward got %d steps, forward had %d", len(dhs), len(l.caches))
+	}
+	H := l.hidden
+	dxs := make([][]float64, len(dhs))
+	dhNext := make([]float64, H)
+	dcNext := make([]float64, H)
+	for t := len(dhs) - 1; t >= 0; t-- {
+		cache := &l.caches[t]
+		if len(dhs[t]) != H {
+			return nil, fmt.Errorf("nn: lstm upstream grad %d has size %d, want %d", t, len(dhs[t]), H)
+		}
+		dh := make([]float64, H)
+		for j := 0; j < H; j++ {
+			dh[j] = dhs[t][j] + dhNext[j]
+		}
+		dPre := make([]float64, 4*H)
+		dcPrev := make([]float64, H)
+		for j := 0; j < H; j++ {
+			do := dh[j] * cache.tanhC[j]
+			dc := dh[j]*cache.o[j]*(1-cache.tanhC[j]*cache.tanhC[j]) + dcNext[j]
+			di := dc * cache.g[j]
+			df := dc * cache.cPrev[j]
+			dg := dc * cache.i[j]
+			dcPrev[j] = dc * cache.f[j]
+			dPre[j] = di * cache.i[j] * (1 - cache.i[j])
+			dPre[H+j] = df * cache.f[j] * (1 - cache.f[j])
+			dPre[2*H+j] = do * cache.o[j] * (1 - cache.o[j])
+			dPre[3*H+j] = dg * (1 - cache.g[j]*cache.g[j])
+		}
+		dx := make([]float64, l.in)
+		dhPrev := make([]float64, H)
+		for j := 0; j < 4*H; j++ {
+			g := dPre[j]
+			if g == 0 {
+				continue
+			}
+			l.b.G[j] += g
+			rowX := l.wx.W[j*l.in : (j+1)*l.in]
+			gRowX := l.wx.G[j*l.in : (j+1)*l.in]
+			for i := range cache.x {
+				gRowX[i] += g * cache.x[i]
+				dx[i] += g * rowX[i]
+			}
+			rowH := l.wh.W[j*H : (j+1)*H]
+			gRowH := l.wh.G[j*H : (j+1)*H]
+			for i := range cache.hPrev {
+				gRowH[i] += g * cache.hPrev[i]
+				dhPrev[i] += g * rowH[i]
+			}
+		}
+		dxs[t] = dx
+		dhNext = dhPrev
+		dcNext = dcPrev
+	}
+	return dxs, nil
+}
+
+// BiLSTM runs a forward and a backward LSTM over the sequence and
+// concatenates their hidden states per step (output size 2H). This is the
+// bidirectional two-layer loop RNN of the paper's generator/discriminator.
+type BiLSTM struct {
+	fwd, bwd *LSTM
+}
+
+// NewBiLSTM builds a bidirectional LSTM with per-direction hidden size H.
+func NewBiLSTM(in, hidden int, rng *rand.Rand) *BiLSTM {
+	return &BiLSTM{fwd: NewLSTM(in, hidden, rng), bwd: NewLSTM(in, hidden, rng)}
+}
+
+// Params implements Module.
+func (b *BiLSTM) Params() []*Param {
+	return append(b.fwd.Params(), b.bwd.Params()...)
+}
+
+// OutputSize returns 2H.
+func (b *BiLSTM) OutputSize() int { return 2 * b.fwd.hidden }
+
+// Forward returns per-step concatenations [h_fwd_t ; h_bwd_t].
+func (b *BiLSTM) Forward(xs [][]float64) ([][]float64, error) {
+	hf, err := b.fwd.Forward(xs)
+	if err != nil {
+		return nil, err
+	}
+	rev := reverse(xs)
+	hbRev, err := b.bwd.Forward(rev)
+	if err != nil {
+		return nil, err
+	}
+	hb := reverse(hbRev)
+	H := b.fwd.hidden
+	out := make([][]float64, len(xs))
+	for t := range xs {
+		v := make([]float64, 2*H)
+		copy(v[:H], hf[t])
+		copy(v[H:], hb[t])
+		out[t] = v
+	}
+	return out, nil
+}
+
+// Backward splits upstream gradients between the two directions and merges
+// the resulting input gradients.
+func (b *BiLSTM) Backward(douts [][]float64) ([][]float64, error) {
+	H := b.fwd.hidden
+	dhf := make([][]float64, len(douts))
+	dhbRev := make([][]float64, len(douts))
+	T := len(douts)
+	for t, d := range douts {
+		if len(d) != 2*H {
+			return nil, fmt.Errorf("nn: bilstm upstream grad %d has size %d, want %d", t, len(d), 2*H)
+		}
+		dhf[t] = append([]float64(nil), d[:H]...)
+		dhbRev[T-1-t] = append([]float64(nil), d[H:]...)
+	}
+	dxf, err := b.fwd.Backward(dhf)
+	if err != nil {
+		return nil, err
+	}
+	dxbRev, err := b.bwd.Backward(dhbRev)
+	if err != nil {
+		return nil, err
+	}
+	dxb := reverse(dxbRev)
+	out := make([][]float64, T)
+	for t := range out {
+		v := make([]float64, len(dxf[t]))
+		for i := range v {
+			v[i] = dxf[t][i] + dxb[t][i]
+		}
+		out[t] = v
+	}
+	return out, nil
+}
+
+func reverse(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[len(xs)-1-i] = x
+	}
+	return out
+}
+
+var (
+	_ Module = (*Dense)(nil)
+	_ Module = (*LSTM)(nil)
+	_ Module = (*BiLSTM)(nil)
+)

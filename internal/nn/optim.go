@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter of the modules and clears
+	// their gradients.
+	Step(ms ...Module) error
+}
+
+// SGD is plain stochastic gradient descent with optional gradient clipping.
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+	// Clip bounds the global gradient L2 norm (0 disables clipping).
+	Clip float64
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(ms ...Module) error {
+	if s.LR <= 0 {
+		return fmt.Errorf("nn: SGD learning rate %v, must be positive", s.LR)
+	}
+	scale := clipScale(ms, s.Clip)
+	for _, m := range ms {
+		for _, p := range m.Params() {
+			for i := range p.W {
+				p.W[i] -= s.LR * scale * p.G[i]
+			}
+			p.ZeroGrad()
+		}
+	}
+	return nil
+}
+
+// Adam implements the Adam optimizer with bias correction and optional
+// global-norm gradient clipping.
+type Adam struct {
+	// LR is the learning rate.
+	LR float64
+	// Beta1, Beta2 are the moment decay rates (defaults 0.9 / 0.999 when 0).
+	Beta1, Beta2 float64
+	// Eps is the denominator fudge (default 1e-8 when 0).
+	Eps float64
+	// Clip bounds the global gradient L2 norm (0 disables clipping).
+	Clip float64
+
+	t     int
+	state map[*Param]*adamState
+}
+
+type adamState struct {
+	m, v []float64
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(ms ...Module) error {
+	if a.LR <= 0 {
+		return fmt.Errorf("nn: Adam learning rate %v, must be positive", a.LR)
+	}
+	b1, b2, eps := a.Beta1, a.Beta2, a.Eps
+	if b1 == 0 {
+		b1 = 0.9
+	}
+	if b2 == 0 {
+		b2 = 0.999
+	}
+	if eps == 0 {
+		eps = 1e-8
+	}
+	if a.state == nil {
+		a.state = make(map[*Param]*adamState)
+	}
+	a.t++
+	c1 := 1 - math.Pow(b1, float64(a.t))
+	c2 := 1 - math.Pow(b2, float64(a.t))
+	scale := clipScale(ms, a.Clip)
+	for _, m := range ms {
+		for _, p := range m.Params() {
+			st := a.state[p]
+			if st == nil {
+				st = &adamState{m: make([]float64, len(p.W)), v: make([]float64, len(p.W))}
+				a.state[p] = st
+			}
+			for i := range p.W {
+				g := p.G[i] * scale
+				st.m[i] = b1*st.m[i] + (1-b1)*g
+				st.v[i] = b2*st.v[i] + (1-b2)*g*g
+				mHat := st.m[i] / c1
+				vHat := st.v[i] / c2
+				p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + eps)
+			}
+			p.ZeroGrad()
+		}
+	}
+	return nil
+}
+
+// clipScale returns the multiplier that caps the global gradient norm at
+// clip (1 when clip <= 0 or the norm is already within bounds).
+func clipScale(ms []Module, clip float64) float64 {
+	if clip <= 0 {
+		return 1
+	}
+	norm2 := 0.0
+	for _, m := range ms {
+		for _, p := range m.Params() {
+			for _, g := range p.G {
+				norm2 += g * g
+			}
+		}
+	}
+	norm := math.Sqrt(norm2)
+	if norm <= clip || norm == 0 {
+		return 1
+	}
+	return clip / norm
+}
+
+var (
+	_ Optimizer = (*SGD)(nil)
+	_ Optimizer = (*Adam)(nil)
+)

@@ -1,0 +1,335 @@
+// Package sim is the slotted simulator of Section VI: each slot it draws the
+// true unit-data processing delays d_i(t) of every base station, reveals the
+// slot's request volumes (to the policy only when demands are "given"),
+// invokes a policy's Decide, and charges the REALISED average delay —
+// processing with true volumes and true delays, known access latency, and
+// instantiation per cached instance — along with wall-clock running time.
+// A shadow Oracle policy can be run on identical slot data to measure the
+// regret of Eq. (10).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/mecsim/l4e/internal/algorithms"
+	"github.com/mecsim/l4e/internal/bandit"
+	"github.com/mecsim/l4e/internal/caching"
+	"github.com/mecsim/l4e/internal/mec"
+	"github.com/mecsim/l4e/internal/workload"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	// Seed drives the environment's randomness (delay draws). Two runs with
+	// the same seed face identical slot conditions, making policy
+	// comparisons paired.
+	Seed int64
+	// DemandsGiven exposes true volumes to the policy at Decide time
+	// (Figs. 3-5); otherwise only basic demands are visible and the bursty
+	// component must be predicted (Figs. 6-7).
+	DemandsGiven bool
+	// TrackRegret runs a shadow Oracle on identical slot data and records
+	// per-slot regret.
+	TrackRegret bool
+	// Slots overrides the workload horizon when positive (must not exceed
+	// it).
+	Slots int
+	// UseAccessLatency adds the known wired-path latency term lat(reg(l),i)
+	// to assignment costs (what surfaces AS1755's bottleneck links).
+	UseAccessLatency bool
+	// WarmCache charges instantiation delay only for instances newly cached
+	// this slot (instances surviving from the previous slot stay warm).
+	// Off by default: the paper's objective (3) charges y_ki each slot.
+	WarmCache bool
+	// FailureRate is the per-slot probability that a healthy station fails
+	// (capacity drops to zero for FailureSlots slots). Failure injection is
+	// an extension for robustness experiments; 0 disables it.
+	FailureRate float64
+	// FailureSlots is how long a failed station stays down (default 5).
+	FailureSlots int
+}
+
+// Result summarises one policy's run.
+type Result struct {
+	Policy string
+	// PerSlotDelayMS is the realised average delay of each slot (Eq. 3 with
+	// true volumes and true delays).
+	PerSlotDelayMS []float64
+	// PerSlotRuntimeMS is the wall-clock time of each Decide call.
+	PerSlotRuntimeMS []float64
+	// AvgDelayMS is the mean of PerSlotDelayMS.
+	AvgDelayMS float64
+	// TotalRuntimeMS sums Decide wall-clock time.
+	TotalRuntimeMS float64
+	// OverloadSlots counts slots where realised volumes exceeded some
+	// station capacity (possible when acting on under-predicted demands).
+	OverloadSlots int
+	// FailedStationSlots counts (station, slot) pairs spent failed.
+	FailedStationSlots int
+	// Regret is populated when Config.TrackRegret is set.
+	Regret *bandit.RegretTracker
+}
+
+// Runner executes policies over a network + workload pair.
+type Runner struct {
+	net *mec.Network
+	w   *workload.Workload
+	cfg Config
+
+	// accessLat[l][i] is the known latency from request l's registered
+	// station to station i (nil when disabled).
+	accessLat [][]float64
+}
+
+// NewRunner prepares a simulation environment. The access-latency matrix is
+// precomputed from the network's link latencies (shortest paths).
+func NewRunner(net *mec.Network, w *workload.Workload, cfg Config) (*Runner, error) {
+	if net.NumStations() == 0 {
+		return nil, fmt.Errorf("sim: empty network")
+	}
+	if cfg.Slots < 0 || cfg.Slots > w.Config.Horizon {
+		return nil, fmt.Errorf("sim: Slots = %d outside [0,%d]", cfg.Slots, w.Config.Horizon)
+	}
+	if cfg.FailureRate < 0 || cfg.FailureRate > 1 {
+		return nil, fmt.Errorf("sim: FailureRate = %v outside [0,1]", cfg.FailureRate)
+	}
+	if cfg.FailureSlots == 0 {
+		cfg.FailureSlots = 5
+	}
+	r := &Runner{net: net, w: w, cfg: cfg}
+	if cfg.UseAccessLatency {
+		// Shortest latency from each distinct registered station, cached.
+		bySource := make(map[int][]float64)
+		r.accessLat = make([][]float64, len(w.Requests))
+		for l, req := range w.Requests {
+			dist, ok := bySource[req.RegisteredBS]
+			if !ok {
+				dist = net.ShortestLatency(req.RegisteredBS)
+				// Unreachable stations get a large-but-finite penalty so the
+				// LP stays bounded.
+				maxFinite := 0.0
+				for _, d := range dist {
+					if !math.IsInf(d, 1) && d > maxFinite {
+						maxFinite = d
+					}
+				}
+				for i, d := range dist {
+					if math.IsInf(d, 1) {
+						dist[i] = 10*maxFinite + 100
+					}
+				}
+				bySource[req.RegisteredBS] = dist
+			}
+			r.accessLat[l] = dist
+		}
+	}
+	return r, nil
+}
+
+// slots returns the effective number of slots to run.
+func (r *Runner) slots() int {
+	if r.cfg.Slots > 0 {
+		return r.cfg.Slots
+	}
+	return r.w.Config.Horizon
+}
+
+// buildProblem assembles slot t's caching problem over the ACTIVE request
+// set R(t). trueVolumes selects whether request volumes carry rho_l(t) or
+// only the basic demands; down masks failed stations (their capacity is
+// zeroed). RequestSpec.ID keeps each slot entry tied to its stable workload
+// request, so policies with per-request state index by ID, not position.
+func (r *Runner) buildProblem(t int, trueVolumes bool, down []bool) *caching.Problem {
+	p := &caching.Problem{
+		NumStations: r.net.NumStations(),
+		NumServices: len(r.w.Services),
+		CapacityMHz: make([]float64, r.net.NumStations()),
+		CUnit:       r.w.Config.CUnit,
+		UnitDelayMS: make([]float64, r.net.NumStations()),
+		InstDelayMS: r.w.InstDelayMS,
+	}
+	for i := range p.CapacityMHz {
+		p.CapacityMHz[i] = r.net.Stations[i].CapacityMHz
+		if down != nil && down[i] {
+			p.CapacityMHz[i] = 0
+		}
+	}
+	var lat [][]float64
+	for l, req := range r.w.Requests {
+		if !r.w.Active[t][l] {
+			continue
+		}
+		v := req.BasicDemand
+		if trueVolumes {
+			v = r.w.Volumes[t][l]
+		}
+		p.Requests = append(p.Requests, caching.RequestSpec{
+			ID:           req.ID,
+			Service:      req.ServiceID,
+			Volume:       v,
+			RegisteredBS: req.RegisteredBS,
+		})
+		if r.accessLat != nil {
+			lat = append(lat, r.accessLat[l])
+		}
+	}
+	p.AccessLatencyMS = lat
+	return p
+}
+
+// trueDelaySetter is implemented by the Oracle policy.
+type trueDelaySetter interface {
+	SetTrueDelays([]float64)
+}
+
+// Run executes the policy over the horizon.
+func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
+	T := r.slots()
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	res := &Result{
+		Policy:           policy.Name(),
+		PerSlotDelayMS:   make([]float64, 0, T),
+		PerSlotRuntimeMS: make([]float64, 0, T),
+	}
+	var oracle *algorithms.Oracle
+	if r.cfg.TrackRegret {
+		oracle = algorithms.NewOracle()
+		res.Regret = &bandit.RegretTracker{}
+	}
+
+	clusters := make([]int, len(r.w.Requests))
+	for l, req := range r.w.Requests {
+		clusters[l] = req.Cluster
+	}
+
+	downUntil := make([]int, r.net.NumStations())
+	prevInstances := map[[2]int]bool(nil)
+	for t := 0; t < T; t++ {
+		actual := r.net.SampleDelays(rng)
+
+		// Failure injection: healthy stations fail with FailureRate and stay
+		// down for FailureSlots slots.
+		var down []bool
+		if r.cfg.FailureRate > 0 {
+			down = make([]bool, r.net.NumStations())
+			for i := range down {
+				if t < downUntil[i] {
+					down[i] = true
+					res.FailedStationSlots++
+					continue
+				}
+				if rng.Float64() < r.cfg.FailureRate {
+					downUntil[i] = t + r.cfg.FailureSlots
+					down[i] = true
+					res.FailedStationSlots++
+				}
+			}
+		}
+
+		if setter, ok := policy.(trueDelaySetter); ok {
+			setter.SetTrueDelays(actual)
+		}
+
+		view := &algorithms.SlotView{
+			T:            t,
+			Problem:      r.buildProblem(t, r.cfg.DemandsGiven, down),
+			DemandsGiven: r.cfg.DemandsGiven,
+			Features:     r.slotFeatures(t),
+			Clusters:     clusters,
+		}
+		start := time.Now()
+		assignment, err := policy.Decide(view)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s slot %d: %w", policy.Name(), t, err)
+		}
+
+		// Realised delay: true volumes, true delays.
+		evalProblem := r.buildProblem(t, true, down)
+		var avg float64
+		var feasible bool
+		if r.cfg.WarmCache {
+			var inst map[[2]int]bool
+			avg, feasible, inst, err = evalProblem.EvaluateWarm(assignment, actual, prevInstances)
+			prevInstances = inst
+		} else {
+			avg, feasible, err = evalProblem.Evaluate(assignment, actual)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s slot %d evaluation: %w", policy.Name(), t, err)
+		}
+		if !feasible {
+			res.OverloadSlots++
+		}
+		res.PerSlotDelayMS = append(res.PerSlotDelayMS, avg)
+		res.PerSlotRuntimeMS = append(res.PerSlotRuntimeMS, float64(elapsed)/float64(time.Millisecond))
+
+		// Feedback: played arms and realised volumes.
+		played := make(map[int]float64)
+		for _, i := range assignment.BS {
+			played[i] = actual[i]
+		}
+		policy.Observe(&algorithms.Observation{
+			T:            t,
+			PlayedDelays: played,
+			TrueVolumes:  append([]float64(nil), r.w.Volumes[t]...),
+			Active:       append([]bool(nil), r.w.Active[t]...),
+		})
+
+		if oracle != nil {
+			oracle.SetTrueDelays(actual)
+			oview := &algorithms.SlotView{
+				T:            t,
+				Problem:      r.buildProblem(t, true, down),
+				DemandsGiven: true,
+				Clusters:     clusters,
+			}
+			oassign, err := oracle.Decide(oview)
+			if err != nil {
+				return nil, fmt.Errorf("sim: oracle slot %d: %w", t, err)
+			}
+			oavg, _, err := r.buildProblem(t, true, down).Evaluate(oassign, actual)
+			if err != nil {
+				return nil, fmt.Errorf("sim: oracle slot %d evaluation: %w", t, err)
+			}
+			if err := res.Regret.Record(avg, oavg); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, d := range res.PerSlotDelayMS {
+		res.AvgDelayMS += d
+	}
+	res.AvgDelayMS /= float64(len(res.PerSlotDelayMS))
+	for _, rt := range res.PerSlotRuntimeMS {
+		res.TotalRuntimeMS += rt
+	}
+	return res, nil
+}
+
+// slotFeatures returns each request's current-slot observable feature row.
+func (r *Runner) slotFeatures(t int) [][]float64 {
+	out := make([][]float64, len(r.w.Requests))
+	for l, req := range r.w.Requests {
+		out[l] = []float64{r.w.Occupancy[t][req.Cluster]}
+	}
+	return out
+}
+
+// Compare runs several policies over identical environments (same seed) and
+// returns results in input order.
+func (r *Runner) Compare(policies []algorithms.Policy) ([]*Result, error) {
+	out := make([]*Result, 0, len(policies))
+	for _, p := range policies {
+		res, err := r.Run(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

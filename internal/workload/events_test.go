@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyEventsReplacesRegime(t *testing.T) {
+	net := testNet(t)
+	cfg := DefaultConfig()
+	cfg.Horizon = 40
+	w, err := Generate(net, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{Cluster: 0, Start: 10, End: 20, Intensity: 1},
+		{Cluster: 1, Start: 25, End: 30, Intensity: 1.5},
+	}
+	if err := w.ApplyEvents(events, 5); err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < cfg.Horizon; tt++ {
+		want0 := 0
+		if tt >= 10 && tt < 20 {
+			want0 = 1
+		}
+		if w.ClusterBurst[tt][0] != want0 {
+			t.Fatalf("cluster 0 burst at %d = %d, want %d", tt, w.ClusterBurst[tt][0], want0)
+		}
+		want1 := 0
+		if tt >= 25 && tt < 30 {
+			want1 = 1
+		}
+		if w.ClusterBurst[tt][1] != want1 {
+			t.Fatalf("cluster 1 burst at %d = %d, want %d", tt, w.ClusterBurst[tt][1], want1)
+		}
+		// Remaining clusters never burst.
+		for c := 2; c < cfg.NumClusters; c++ {
+			if w.ClusterBurst[tt][c] != 0 {
+				t.Fatalf("cluster %d bursts at %d without an event", c, tt)
+			}
+		}
+	}
+	// During an event, affected requests exceed basic demand on average.
+	var excess float64
+	n := 0
+	for tt := 10; tt < 20; tt++ {
+		for l := range w.Requests {
+			if w.Requests[l].Cluster == 0 {
+				excess += w.Volumes[tt][l] - w.Requests[l].BasicDemand
+				n++
+			}
+		}
+	}
+	if n == 0 || excess/float64(n) < cfg.BurstScale/2 {
+		t.Errorf("event excess %v too small", excess/float64(max(n, 1)))
+	}
+	// Outside events, volumes equal basic demand.
+	for l := range w.Requests {
+		if w.Volumes[0][l] != w.Requests[l].BasicDemand {
+			t.Errorf("request %d has burst volume outside events", l)
+		}
+	}
+}
+
+func TestApplyEventsValidation(t *testing.T) {
+	net := testNet(t)
+	cfg := DefaultConfig()
+	cfg.Horizon = 20
+	w, err := Generate(net, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Event{
+		{Cluster: -1, Start: 0, End: 5, Intensity: 1},
+		{Cluster: 0, Start: 5, End: 5, Intensity: 1},
+		{Cluster: 0, Start: 0, End: 99, Intensity: 1},
+		{Cluster: 0, Start: 0, End: 5, Intensity: 0},
+	}
+	for i, e := range bad {
+		if err := w.ApplyEvents([]Event{e}, 1); err == nil {
+			t.Errorf("bad event %d accepted", i)
+		}
+	}
+}
+
+func TestRandomEvents(t *testing.T) {
+	cfg := DefaultConfig()
+	events, err := RandomEvents(cfg, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("got %d events", len(events))
+	}
+	for i, e := range events {
+		if err := e.Validate(cfg); err != nil {
+			t.Errorf("event %d invalid: %v", i, err)
+		}
+	}
+	if _, err := RandomEvents(cfg, -1, 1); err == nil {
+		t.Error("negative count accepted")
+	}
+	short := cfg
+	short.Horizon = 3
+	if _, err := RandomEvents(short, 1, 1); err == nil {
+		t.Error("too-short horizon accepted")
+	}
+}
+
+func TestPropertyEventsOccupancyForeshadowsBursts(t *testing.T) {
+	// Wherever a burst is scheduled, occupancy must be elevated — this is
+	// the signal the GAN exploits.
+	net := testNet(t)
+	f := func(seed int64) bool {
+		cfg := DefaultConfig()
+		cfg.Horizon = 30
+		w, err := Generate(net, cfg, seed)
+		if err != nil {
+			return false
+		}
+		events, err := RandomEvents(cfg, 3, seed+1)
+		if err != nil {
+			return false
+		}
+		if err := w.ApplyEvents(events, seed+2); err != nil {
+			return false
+		}
+		var burstOcc, calmOcc, nB, nC float64
+		for tt := range w.Occupancy {
+			for c, occ := range w.Occupancy[tt] {
+				if w.ClusterBurst[tt][c] == 1 {
+					burstOcc += occ
+					nB++
+				} else {
+					calmOcc += occ
+					nC++
+				}
+			}
+		}
+		if nB == 0 {
+			return true // no burst slots drawn; vacuously fine
+		}
+		return burstOcc/nB > calmOcc/nC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+package workload
+
+import "math/rand"
+
+// Hotspot is one entry of the synthetic stand-in for the NYC Wi-Fi hotspot
+// locations dataset [26]. The real dataset supplies small samples of hidden
+// user features — locations clustered by borough, provider group tags, and
+// per-site populations; this generator reproduces those feature correlations
+// deterministically (fixed seed) so the learning problem has the same shape.
+type Hotspot struct {
+	// X, Y is the location in the unit square (borough-clustered).
+	X, Y float64
+	// Cluster is the hotspot cluster index used as the GAN latent code.
+	Cluster int
+	// Borough is the coarse group tag (0..4, one per NYC borough).
+	Borough int
+	// Provider is a secondary group tag (Wi-Fi provider).
+	Provider int
+	// Population is the relative user population of the site.
+	Population float64
+}
+
+// boroughCenters places five borough-like clusters in the unit square,
+// roughly mirroring Manhattan/Brooklyn/Queens/Bronx/Staten Island geometry.
+var _boroughCenters = [5][2]float64{
+	{0.45, 0.60}, // Manhattan
+	{0.55, 0.35}, // Brooklyn
+	{0.70, 0.50}, // Queens
+	{0.50, 0.85}, // Bronx
+	{0.20, 0.15}, // Staten Island
+}
+
+// Hotspots generates n clustered hotspot sites. Cluster i is anchored to
+// borough i mod 5; sites scatter tightly around their cluster center, which
+// itself scatters around the borough center. All draws are deterministic in
+// seed.
+func Hotspots(n int, seed int64) []Hotspot {
+	if n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Hotspot, 0, n)
+	for c := 0; c < n; c++ {
+		b := c % len(_boroughCenters)
+		cx := _boroughCenters[b][0] + (rng.Float64()-0.5)*0.15
+		cy := _boroughCenters[b][1] + (rng.Float64()-0.5)*0.15
+		out = append(out, Hotspot{
+			X:          clamp01(cx + (rng.Float64()-0.5)*0.05),
+			Y:          clamp01(cy + (rng.Float64()-0.5)*0.05),
+			Cluster:    c,
+			Borough:    b,
+			Provider:   rng.Intn(4),
+			Population: 0.5 + rng.Float64(),
+		})
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	net := testNet(t)
+	cfg := DefaultConfig()
+	cfg.NumRequests = 12
+	cfg.Horizon = 15
+	cfg.SessionOffProb = 0.1
+	cfg.SessionOnProb = 0.4
+	w, err := Generate(net, cfg, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteTraceCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load into a sibling workload generated with a different seed.
+	w2, err := Generate(net, cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Align the request set (ReadTraceCSV validates services/clusters).
+	w2.Requests = append([]Request(nil), w.Requests...)
+	if err := w2.ReadTraceCSV(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for tt := range w.Volumes {
+		for l := range w.Volumes[tt] {
+			if w.Volumes[tt][l] != w2.Volumes[tt][l] {
+				t.Fatalf("volume (%d,%d) mismatch after round trip", tt, l)
+			}
+		}
+		for c := range w.ClusterBurst[tt] {
+			if w.ClusterBurst[tt][c] != w2.ClusterBurst[tt][c] {
+				t.Fatalf("burst (%d,%d) mismatch", tt, c)
+			}
+			if w.Occupancy[tt][c] != w2.Occupancy[tt][c] {
+				t.Fatalf("occupancy (%d,%d) mismatch", tt, c)
+			}
+		}
+		for l := range w.Active[tt] {
+			if w.Active[tt][l] != w2.Active[tt][l] {
+				t.Fatalf("active (%d,%d) mismatch", tt, l)
+			}
+		}
+	}
+}
+
+func TestReadTraceCSVRejectsBadInput(t *testing.T) {
+	net := testNet(t)
+	cfg := DefaultConfig()
+	cfg.NumRequests = 4
+	cfg.Horizon = 3
+	w, err := Generate(net, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := "slot,request,service,cluster,volume,cluster_burst,occupancy,active\n"
+	valid := func(l int) string {
+		r := w.Requests[l]
+		return strings.Join([]string{
+			"0", itoa(l), itoa(r.ServiceID), itoa(r.Cluster), "2.5", "0", "1.1", "1",
+		}, ",") + "\n"
+	}
+	tests := []struct {
+		name string
+		body string
+	}{
+		{"bad header", "nope,b,c\n"},
+		{"bad slot", header + "99,0," + itoa(w.Requests[0].ServiceID) + "," + itoa(w.Requests[0].Cluster) + ",2,0,1,1\n"},
+		{"bad request", header + "0,99,0,0,2,0,1,1\n"},
+		{"service mismatch", header + "0,0,99," + itoa(w.Requests[0].Cluster) + ",2,0,1,1\n"},
+		{"cluster mismatch", header + "0,0," + itoa(w.Requests[0].ServiceID) + ",99,2,0,1,1\n"},
+		{"bad active", header + strings.Replace(valid(0), ",1.1,1", ",1.1,x", 1)},
+		{"bad volume", header + strings.Replace(valid(0), ",2.5,", ",-1,", 1)},
+		{"bad burst", header + strings.Replace(valid(0), ",0,1.1", ",7,1.1", 1)},
+		{"bad occupancy", header + strings.Replace(valid(0), ",1.1,1", ",zap,1", 1)},
+		{"incomplete trace", header + valid(0)}, // missing other rows
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := w.ReadTraceCSV(strings.NewReader(tt.body)); err == nil {
+				t.Error("bad trace accepted")
+			}
+		})
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }

@@ -1,0 +1,423 @@
+// Package l4e ("Learning for Exception") reproduces the ICDCS 2020 paper
+// "Learning for Exception: Dynamic Service Caching in 5G-Enabled MECs with
+// Bursty User Demands" (Xu et al.) as a self-contained Go library.
+//
+// The package is the public facade: it builds experiment scenarios (network
+// topology + bursty workload + simulation settings), constructs the paper's
+// policies by name, and runs paired comparisons. The building blocks live in
+// internal packages (lp, flow, caching, bandit, nn, gan, forecast,
+// algorithms, sim, ...) and are re-exported here where a downstream user
+// needs to touch them.
+//
+// Quickstart:
+//
+//	s, err := l4e.NewScenario(l4e.WithStations(100), l4e.WithSeed(1))
+//	results, err := s.Compare("OL_GD", "Greedy_GD", "Pri_GD")
+//	for _, r := range results {
+//		fmt.Printf("%-10s %.2f ms\n", r.Policy, r.AvgDelayMS)
+//	}
+package l4e
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/mecsim/l4e/internal/algorithms"
+	"github.com/mecsim/l4e/internal/bandit"
+	"github.com/mecsim/l4e/internal/mec"
+	"github.com/mecsim/l4e/internal/sim"
+	"github.com/mecsim/l4e/internal/topology"
+	"github.com/mecsim/l4e/internal/workload"
+)
+
+// Re-exported types: these are the objects a library user holds.
+type (
+	// Network is the 5G heterogeneous MEC network G = (BS, E).
+	Network = mec.Network
+	// Workload is a generated request set with its bursty demand trace.
+	Workload = workload.Workload
+	// WorkloadConfig parameterises workload generation.
+	WorkloadConfig = workload.Config
+	// Policy is a per-slot caching/offloading decision maker.
+	Policy = algorithms.Policy
+	// Result is one policy's simulation outcome.
+	Result = sim.Result
+)
+
+// Topology selects the network generator.
+type Topology int
+
+// Supported topologies.
+const (
+	// TopologyGTITM is the synthetic GT-ITM-style random topology of the
+	// paper's Section VI-A (pairwise connection probability 0.1).
+	TopologyGTITM Topology = iota + 1
+	// TopologyAS1755 is the embedded AS1755-like real ISP topology (87
+	// nodes, 161 links, bottleneck links between regions).
+	TopologyAS1755
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case TopologyGTITM:
+		return "gt-itm"
+	case TopologyAS1755:
+		return "as1755"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Scenario is a fully constructed experiment environment.
+type Scenario struct {
+	Net      *Network
+	Workload *Workload
+	// DemandsGiven exposes true volumes to policies (Figs. 3-5 setting).
+	DemandsGiven bool
+	// UseAccessLatency includes wired-path latency in costs (recommended on
+	// AS1755, where bottleneck links matter).
+	UseAccessLatency bool
+	// Seed drives environment randomness.
+	Seed int64
+	// Slots caps the simulated horizon (0 = full workload horizon).
+	Slots int
+	// WarmCache switches instantiation accounting to warm-cache mode.
+	WarmCache bool
+	// FailureRate and FailureSlots configure station failure injection.
+	FailureRate  float64
+	FailureSlots int
+}
+
+type scenarioConfig struct {
+	topo         Topology
+	stations     int
+	seed         int64
+	demandsGiven bool
+	useLatency   bool
+	warmCache    bool
+	failureRate  float64
+	failureSlots int
+	remoteDC     bool
+	events       int
+	slots        int
+	wcfg         WorkloadConfig
+	wcfgSet      bool
+}
+
+// ScenarioOption customises NewScenario.
+type ScenarioOption func(*scenarioConfig)
+
+// WithTopology selects the network generator (default GT-ITM).
+func WithTopology(t Topology) ScenarioOption {
+	return func(c *scenarioConfig) { c.topo = t }
+}
+
+// WithStations sets the GT-ITM network size (ignored for AS1755, which is
+// fixed at 87 nodes). Default 100.
+func WithStations(n int) ScenarioOption {
+	return func(c *scenarioConfig) { c.stations = n }
+}
+
+// WithSeed sets the scenario seed (topology attributes, workload trace, and
+// per-slot delay draws all derive from it). Default 1.
+func WithSeed(seed int64) ScenarioOption {
+	return func(c *scenarioConfig) { c.seed = seed }
+}
+
+// WithDemandsGiven controls whether policies see true volumes (default
+// true, the Figs. 3-5 setting; pass false for the Figs. 6-7 setting).
+func WithDemandsGiven(given bool) ScenarioOption {
+	return func(c *scenarioConfig) { c.demandsGiven = given }
+}
+
+// WithAccessLatency toggles the known wired-path latency cost term.
+func WithAccessLatency(use bool) ScenarioOption {
+	return func(c *scenarioConfig) { c.useLatency = use }
+}
+
+// WithSlots caps the simulated horizon.
+func WithSlots(slots int) ScenarioOption {
+	return func(c *scenarioConfig) { c.slots = slots }
+}
+
+// WithScheduledEvents replaces the workload's Markov burst regime with n
+// randomly scheduled calendar events (flash crowds with known windows, e.g.
+// exhibit openings). Occupancy foreshadows each event, so feature-aware
+// prediction can anticipate the bursts that volume-history models lag.
+func WithScheduledEvents(n int) ScenarioOption {
+	return func(c *scenarioConfig) { c.events = n }
+}
+
+// WithWarmCache charges instantiation only for newly cached instances
+// (instances surviving from the previous slot stay warm) instead of the
+// paper's literal per-slot objective (3).
+func WithWarmCache(on bool) ScenarioOption {
+	return func(c *scenarioConfig) { c.warmCache = on }
+}
+
+// WithFailures injects station failures: each healthy station fails with the
+// given per-slot probability and stays down for the given number of slots.
+func WithFailures(rate float64, slots int) ScenarioOption {
+	return func(c *scenarioConfig) { c.failureRate = rate; c.failureSlots = slots }
+}
+
+// WithRemoteDC appends the remote data center of the paper's architecture
+// as an always-available fallback tier: effectively unlimited capacity,
+// unit-data delay in [50, 100] ms, services pre-deployed (no instantiation).
+func WithRemoteDC() ScenarioOption {
+	return func(c *scenarioConfig) { c.remoteDC = true }
+}
+
+// WithWorkloadConfig overrides the workload configuration entirely.
+func WithWorkloadConfig(cfg WorkloadConfig) ScenarioOption {
+	return func(c *scenarioConfig) { c.wcfg = cfg; c.wcfgSet = true }
+}
+
+// NewScenario builds a scenario. Defaults: GT-ITM topology with 100
+// stations, the default workload (60 requests, 8 services, 100 slots,
+// cluster-correlated bursts), demands given, seed 1.
+func NewScenario(opts ...ScenarioOption) (*Scenario, error) {
+	cfg := scenarioConfig{
+		topo:         TopologyGTITM,
+		stations:     100,
+		seed:         1,
+		demandsGiven: true,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var (
+		net *Network
+		err error
+	)
+	switch cfg.topo {
+	case TopologyGTITM:
+		net, err = topology.GTITM(cfg.stations, cfg.seed)
+	case TopologyAS1755:
+		net, err = topology.AS1755(cfg.seed)
+	default:
+		return nil, fmt.Errorf("l4e: unknown topology %d", int(cfg.topo))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("l4e: building topology: %w", err)
+	}
+	if cfg.remoteDC {
+		if err := addRemoteDC(net, cfg.seed); err != nil {
+			return nil, fmt.Errorf("l4e: adding remote DC: %w", err)
+		}
+	}
+	wcfg := cfg.wcfg
+	if !cfg.wcfgSet {
+		wcfg = workload.DefaultConfig()
+	}
+	w, err := workload.Generate(net, wcfg, cfg.seed+1000)
+	if err != nil {
+		return nil, fmt.Errorf("l4e: generating workload: %w", err)
+	}
+	if cfg.events > 0 {
+		events, err := workload.RandomEvents(wcfg, cfg.events, cfg.seed+2000)
+		if err != nil {
+			return nil, fmt.Errorf("l4e: scheduling events: %w", err)
+		}
+		if err := w.ApplyEvents(events, cfg.seed+3000); err != nil {
+			return nil, fmt.Errorf("l4e: applying events: %w", err)
+		}
+	}
+	scn := &Scenario{
+		Net:              net,
+		Workload:         w,
+		DemandsGiven:     cfg.demandsGiven,
+		UseAccessLatency: cfg.useLatency,
+		Seed:             cfg.seed,
+		Slots:            cfg.slots,
+		WarmCache:        cfg.warmCache,
+		FailureRate:      cfg.failureRate,
+		FailureSlots:     cfg.failureSlots,
+	}
+	if cfg.remoteDC {
+		// The DC's services are pre-deployed: zero instantiation delay.
+		dc := net.NumStations() - 1
+		for k := range w.InstDelayMS[dc] {
+			w.InstDelayMS[dc][k] = 0
+		}
+	}
+	return scn, nil
+}
+
+// addRemoteDC appends a remote data center node linked to every macro
+// station over high-latency core links.
+func addRemoteDC(net *Network, seed int64) error {
+	rng := rand.New(rand.NewSource(seed + 7))
+	dc := net.AddStation(mec.NewStation(mec.RemoteDC, -1e6, -1e6, mec.DefaultParams(mec.RemoteDC), rng))
+	linked := false
+	for i := range net.Stations {
+		if net.Stations[i].Class == mec.Macro {
+			if err := net.AddLink(dc, i, 20+rng.Float64()*10, 10000); err != nil {
+				return err
+			}
+			linked = true
+		}
+	}
+	if !linked {
+		return fmt.Errorf("no macro stations to uplink the remote DC")
+	}
+	return nil
+}
+
+// PolicyNames lists the policies NewPolicy accepts. The first six are the
+// paper's algorithms; the rest are ablation variants.
+func PolicyNames() []string {
+	return []string{
+		"OL_GD", "Greedy_GD", "Pri_GD", "OL_Reg", "OL_GAN", "Oracle",
+		"OL_GD/UCB", "OL_GD/Thompson", "OL_GD/const-eps", "OL_GD/ls",
+		"Greedy_GD/adaptive", "Pri_GD/adaptive",
+	}
+}
+
+// classMinPriors returns each station's known class-minimum delay — the
+// optimistic per-arm prior OL_GD starts from (Lemma 1 assumes the delay
+// extrema are known a priori).
+func classMinPriors(net *Network) []float64 {
+	out := make([]float64, net.NumStations())
+	for i := range net.Stations {
+		out[i] = mec.DefaultParams(net.Stations[i].Class).UnitDelayMin
+	}
+	return out
+}
+
+// historicalEstimates returns the static per-station latency estimates the
+// baselines act on: the midpoint of each station class's delay range — the
+// "historical information of processing latencies" an operator has on file,
+// which ignores both the per-station spread and the per-slot variation.
+func historicalEstimates(net *Network) []float64 {
+	out := make([]float64, net.NumStations())
+	for i := range net.Stations {
+		p := mec.DefaultParams(net.Stations[i].Class)
+		out[i] = (p.UnitDelayMin + p.UnitDelayMax) / 2
+	}
+	return out
+}
+
+// NewPolicy constructs a policy by its paper name, wired to this scenario's
+// network and workload.
+func (s *Scenario) NewPolicy(name string) (Policy, error) {
+	n := s.Net.NumStations()
+	basics := make([]float64, len(s.Workload.Requests))
+	clusters := make([]int, len(s.Workload.Requests))
+	xy := make([][2]float64, len(s.Workload.Requests))
+	for l, r := range s.Workload.Requests {
+		basics[l] = r.BasicDemand
+		clusters[l] = r.Cluster
+		xy[l] = [2]float64{r.X, r.Y}
+	}
+	// Optimistic per-arm priors at each station's class minimum.
+	priors := classMinPriors(s.Net)
+	const prior = 5.0
+	switch name {
+	case "OL_GD":
+		cfg := algorithms.DefaultOLGDConfig(n)
+		cfg.Seed = s.Seed
+		cfg.Priors = priors
+		return algorithms.NewOLGD(cfg)
+	case "OL_GD/ls":
+		cfg := algorithms.DefaultOLGDConfig(n)
+		cfg.Seed = s.Seed
+		cfg.Priors = priors
+		cfg.LocalSearch = true
+		cfg.Name = "OL_GD/ls"
+		return algorithms.NewOLGD(cfg)
+	case "OL_GD/const-eps":
+		cfg := algorithms.DefaultOLGDConfig(n)
+		cfg.Seed = s.Seed
+		cfg.Priors = priors
+		cfg.Name = "OL_GD/const-eps"
+		cfg.Schedule = bandit.ConstantSchedule{Value: 0.25}
+		p, err := algorithms.NewOLGD(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	case "Greedy_GD":
+		return algorithms.NewGreedyGD(historicalEstimates(s.Net), false)
+	case "Greedy_GD/adaptive":
+		return algorithms.NewGreedyGD(historicalEstimates(s.Net), true)
+	case "Pri_GD":
+		return algorithms.NewPriGD(s.Net, xy, historicalEstimates(s.Net), false)
+	case "Pri_GD/adaptive":
+		return algorithms.NewPriGD(s.Net, xy, historicalEstimates(s.Net), true)
+	case "OL_Reg":
+		cfg := algorithms.DefaultOLGDConfig(n)
+		cfg.Seed = s.Seed
+		cfg.Priors = priors
+		return algorithms.NewOLReg(cfg, 4, basics)
+	case "OL_GAN":
+		cfg := algorithms.DefaultOLGANConfig(n, s.Workload.Config.NumClusters)
+		cfg.OLGD.Seed = s.Seed
+		cfg.OLGD.Priors = priors
+		cfg.GAN.Seed = s.Seed
+		return algorithms.NewOLGAN(cfg, basics, clusters)
+	case "Oracle":
+		return algorithms.NewOracle(), nil
+	case "OL_GD/UCB":
+		return algorithms.NewIndexOLGD(algorithms.IndexUCB, n, prior, s.Seed)
+	case "OL_GD/Thompson":
+		return algorithms.NewIndexOLGD(algorithms.IndexThompson, n, prior, s.Seed)
+	default:
+		return nil, fmt.Errorf("l4e: unknown policy %q (known: %v)", name, PolicyNames())
+	}
+}
+
+// runner builds the simulator for this scenario.
+func (s *Scenario) runner(trackRegret bool) (*sim.Runner, error) {
+	return sim.NewRunner(s.Net, s.Workload, sim.Config{
+		Seed:             s.Seed,
+		DemandsGiven:     s.DemandsGiven,
+		TrackRegret:      trackRegret,
+		Slots:            s.Slots,
+		UseAccessLatency: s.UseAccessLatency,
+		WarmCache:        s.WarmCache,
+		FailureRate:      s.FailureRate,
+		FailureSlots:     s.FailureSlots,
+	})
+}
+
+// Run simulates one policy over the horizon.
+func (s *Scenario) Run(p Policy) (*Result, error) {
+	r, err := s.runner(false)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(p)
+}
+
+// RunWithRegret simulates one policy with a shadow Oracle, populating
+// Result.Regret.
+func (s *Scenario) RunWithRegret(p Policy) (*Result, error) {
+	r, err := s.runner(true)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(p)
+}
+
+// Compare runs the named policies over identical slot conditions and
+// returns results in input order.
+func (s *Scenario) Compare(names ...string) ([]*Result, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("l4e: no policies to compare")
+	}
+	results := make([]*Result, 0, len(names))
+	for _, name := range names {
+		p, err := s.NewPolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run(p)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
