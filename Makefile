@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench figures examples clean
+.PHONY: all build test test-short vet race bench figures examples clean
 
 all: build vet test
 
@@ -17,6 +17,13 @@ test-short:
 
 vet:
 	$(GO) vet ./...
+
+# Race-detector pass over the concurrency-sensitive paths: the simulator
+# integration tests, the lock-free observability registry, and the shared
+# observer under parallel experiment repeats.
+race:
+	$(GO) test -race ./internal/sim/ ./internal/obs/
+	$(GO) test -race -run Observer .
 
 # Full benchmark suite: regenerates every paper figure plus the ablations.
 bench:

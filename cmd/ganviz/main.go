@@ -5,6 +5,11 @@
 // before trusting an OL_GAN run.
 //
 //	ganviz -pretrain 60 -adv 40 -hidden 10 -seed 1
+//
+// Pass -trace to stream each training epoch (pretrain MSE, adversarial
+// D/G/Q losses) as JSONL events for machine consumption:
+//
+//	ganviz -adv 20 -trace /tmp/gan-train.jsonl
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"github.com/mecsim/l4e/internal/gan"
+	"github.com/mecsim/l4e/internal/obs"
 )
 
 func main() {
@@ -33,6 +39,7 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		series   = fs.Int("series", 4, "training series count")
 		length   = fs.Int("length", 60, "training series length (slots)")
+		trace    = fs.String("trace", "", "write per-epoch training events as JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +53,17 @@ func run(args []string) error {
 	model, err := gan.New(cfg)
 	if err != nil {
 		return err
+	}
+	var observer *obs.Observer
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		observer = obs.New(obs.Options{TraceWriter: f})
+		defer observer.Flush()
+		model.SetObserver(observer)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))

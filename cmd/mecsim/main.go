@@ -9,16 +9,29 @@
 //
 //	mecsim -compare OL_GD,Greedy_GD,Pri_GD -stations 100 -slots 100
 //	mecsim -compare OL_GAN,OL_Reg -hidden -topology as1755
+//
+// Observability (see README "Observability"): per-slot JSONL trace spans,
+// a named-metrics snapshot, a machine-readable run summary, and pprof:
+//
+//	mecsim -trace /tmp/trace.jsonl -metrics-out /tmp/metrics.json
+//	mecsim -compare OL_GAN,OL_Reg -hidden -summary-json - -sample-runtime
+//	mecsim -fig 3 -pprof localhost:6060 -cpuprofile /tmp/cpu.pprof
+//
+// Observability flags without a mode flag run the quickstart comparison
+// (OL_GD vs Greedy_GD vs Pri_GD) as the instrumented workload.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"github.com/mecsim/l4e"
 	"github.com/mecsim/l4e/internal/metrics"
+	"github.com/mecsim/l4e/internal/obs"
 )
 
 func main() {
@@ -45,11 +58,65 @@ func run(args []string) error {
 		regret      = fs.Bool("regret", false, "track regret against a shadow oracle (-compare only)")
 		exportTrace = fs.String("export-trace", "", "write the scenario's demand trace to a CSV file and exit")
 		list        = fs.Bool("list", false, "list known policies and figures")
+
+		tracePath   = fs.String("trace", "", "write per-slot JSONL trace spans to this file")
+		metricsOut  = fs.String("metrics-out", "", "write the final metrics snapshot (JSON) to this file")
+		summaryJSON = fs.String("summary-json", "", `write a run summary (config + results + metrics) to this file ("-" = stdout)`)
+		sampleRT    = fs.Bool("sample-runtime", false, "record per-slot heap/GC/goroutine gauges (briefly stops the world each slot)")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		heapProfile = fs.String("heapprofile", "", "write a heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *pprofAddr != "" {
+		srv, url, err := obs.StartPprofServer(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mecsim: pprof listening at %s\n", url)
+	}
+	if *cpuProfile != "" {
+		stopCPU, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stopCPU(); err != nil {
+				fmt.Fprintln(os.Stderr, "mecsim: stopping CPU profile:", err)
+			}
+		}()
+	}
+
+	// Build the observer when any observability sink is requested. The trace
+	// file is created up front so a bad path fails before simulating.
+	wantObs := *tracePath != "" || *metricsOut != "" || *summaryJSON != "" || *sampleRT
+	var observer *l4e.Observer
+	if wantObs {
+		var tw io.Writer
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			tw = f
+		}
+		observer = l4e.NewObserver(l4e.ObserverOptions{TraceWriter: tw, SampleRuntime: *sampleRT})
+	}
+
+	// Human-readable tables move to stderr when the JSON summary claims
+	// stdout, keeping `-summary-json -` pipeable.
+	tableOut := io.Writer(os.Stdout)
+	if *summaryJSON == "-" {
+		tableOut = os.Stderr
+	}
+
+	var results []*l4e.Result
+	var runErr error
 	switch {
 	case *exportTrace != "":
 		return runExportTrace(*exportTrace, *stations, *topo, *slots, *seed)
@@ -58,16 +125,114 @@ func run(args []string) error {
 		fmt.Println("figures: fig3 fig4 fig5 fig6 fig7")
 		return nil
 	case *fig != 0:
-		return runFigure(*fig, l4e.ExperimentConfig{
+		runErr = runFigure(*fig, l4e.ExperimentConfig{
 			Repeats: *repeats, Slots: *slots, Seed: *seed, SmoothWindow: *smooth,
-			Parallel: *parallel,
+			Parallel: *parallel, Observer: observer,
 		}, *csv)
 	case *compare != "":
-		return runCompare(*compare, *stations, *topo, *slots, *seed, *hidden, *regret)
+		results, runErr = runCompare(tableOut, *compare, *stations, *topo, *slots, *seed, *hidden, *regret, observer)
+	case wantObs:
+		// Observability flags alone instrument the quickstart comparison.
+		results, runErr = runCompare(tableOut, "OL_GD,Greedy_GD,Pri_GD", *stations, *topo, *slots, *seed, *hidden, *regret, observer)
 	default:
 		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -fig N, -compare A,B, or -list")
 	}
+	if runErr != nil {
+		return runErr
+	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, observer); err != nil {
+			return err
+		}
+	}
+	if *summaryJSON != "" {
+		cfg := summaryConfig{
+			Stations: *stations, Topology: *topo, Slots: *slots, Seed: *seed,
+			DemandsGiven: !*hidden, Regret: *regret, Figure: *fig, Compare: *compare,
+		}
+		if err := writeSummary(*summaryJSON, cfg, results, observer); err != nil {
+			return err
+		}
+	}
+	if *heapProfile != "" {
+		if err := obs.WriteHeapProfile(*heapProfile); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// summaryConfig echoes the run's effective settings into -summary-json.
+type summaryConfig struct {
+	Stations     int    `json:"stations"`
+	Topology     string `json:"topology"`
+	Slots        int    `json:"slots"`
+	Seed         int64  `json:"seed"`
+	DemandsGiven bool   `json:"demands_given"`
+	Regret       bool   `json:"regret"`
+	Figure       int    `json:"figure,omitempty"`
+	Compare      string `json:"compare,omitempty"`
+}
+
+// summaryResult is one policy's outcome in -summary-json.
+type summaryResult struct {
+	Policy             string   `json:"policy"`
+	AvgDelayMS         float64  `json:"avg_delay_ms"`
+	TotalRuntimeMS     float64  `json:"total_runtime_ms"`
+	OverloadSlots      int      `json:"overload_slots"`
+	FailedStationSlots int      `json:"failed_station_slots,omitempty"`
+	CumulativeRegretMS *float64 `json:"cumulative_regret_ms,omitempty"`
+}
+
+func writeMetrics(path string, observer *l4e.Observer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	snap := observer.Snapshot()
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeSummary(path string, cfg summaryConfig, results []*l4e.Result, observer *l4e.Observer) error {
+	summary := struct {
+		Config  summaryConfig        `json:"config"`
+		Results []summaryResult      `json:"results,omitempty"`
+		Metrics *l4e.MetricsSnapshot `json:"metrics,omitempty"`
+	}{Config: cfg}
+	for _, r := range results {
+		sr := summaryResult{
+			Policy:             r.Policy,
+			AvgDelayMS:         r.AvgDelayMS,
+			TotalRuntimeMS:     r.TotalRuntimeMS,
+			OverloadSlots:      r.OverloadSlots,
+			FailedStationSlots: r.FailedStationSlots,
+		}
+		if r.Regret != nil {
+			c := r.Regret.Cumulative()
+			sr.CumulativeRegretMS = &c
+		}
+		summary.Results = append(summary.Results, sr)
+	}
+	if observer != nil {
+		snap := observer.Snapshot()
+		summary.Metrics = &snap
+	}
+	out, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
 // runExportTrace writes the scenario's workload trace as CSV for archiving
@@ -119,12 +284,13 @@ func runFigure(n int, cfg l4e.ExperimentConfig, csv bool) error {
 	return nil
 }
 
-func runCompare(names string, stations int, topoName string, slots int, seed int64, hidden, regret bool) error {
+func runCompare(out io.Writer, names string, stations int, topoName string, slots int, seed int64, hidden, regret bool, observer *l4e.Observer) ([]*l4e.Result, error) {
 	opts := []l4e.ScenarioOption{
 		l4e.WithStations(stations),
 		l4e.WithSeed(seed),
 		l4e.WithSlots(slots),
 		l4e.WithDemandsGiven(!hidden),
+		l4e.WithObserver(observer),
 	}
 	switch topoName {
 	case "gt-itm":
@@ -132,22 +298,22 @@ func runCompare(names string, stations int, topoName string, slots int, seed int
 	case "as1755":
 		opts = append(opts, l4e.WithTopology(l4e.TopologyAS1755), l4e.WithAccessLatency(true))
 	default:
-		return fmt.Errorf("unknown topology %q", topoName)
+		return nil, fmt.Errorf("unknown topology %q", topoName)
 	}
 	s, err := l4e.NewScenario(opts...)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("network %s: %d stations; %d requests, %d services, %d slots; demands %s\n",
+	fmt.Fprintf(out, "network %s: %d stations; %d requests, %d services, %d slots; demands %s\n",
 		s.Net.Name, s.Net.NumStations(), len(s.Workload.Requests), len(s.Workload.Services),
 		slots, map[bool]string{true: "hidden", false: "given"}[hidden])
-	fmt.Printf("%-16s %14s %16s %14s %10s\n", "policy", "avg delay(ms)", "total runtime(ms)", "overload slots", "regret")
+	fmt.Fprintf(out, "%-16s %14s %16s %14s %10s\n", "policy", "avg delay(ms)", "total runtime(ms)", "overload slots", "regret")
 	var results []*l4e.Result
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
 		p, err := s.NewPolicy(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		var res *l4e.Result
 		if regret {
@@ -156,24 +322,24 @@ func runCompare(names string, stations int, topoName string, slots int, seed int
 			res, err = s.Run(p)
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
 		results = append(results, res)
 		reg := "-"
 		if res.Regret != nil {
 			reg = fmt.Sprintf("%.1f", res.Regret.Cumulative())
 		}
-		fmt.Printf("%-16s %14.3f %16.1f %14d %10s\n",
+		fmt.Fprintf(out, "%-16s %14.3f %16.1f %14d %10s\n",
 			res.Policy, res.AvgDelayMS, res.TotalRuntimeMS, res.OverloadSlots, reg)
 	}
 	// Significance of the first policy's per-slot delay advantage over each
 	// competitor (Welch's t-test over the paired slot series).
 	if len(results) > 1 {
-		fmt.Println()
+		fmt.Fprintln(out)
 		for _, other := range results[1:] {
 			tStat, pVal, err := metrics.WelchTTest(results[0].PerSlotDelayMS, other.PerSlotDelayMS)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			verdict := "not significant"
 			if pVal < 0.05 {
@@ -183,9 +349,9 @@ func runCompare(names string, stations int, topoName string, slots int, seed int
 					verdict = "significantly HIGHER"
 				}
 			}
-			fmt.Printf("%s vs %s: t=%.2f p=%.4f (%s delay, alpha=0.05)\n",
+			fmt.Fprintf(out, "%s vs %s: t=%.2f p=%.4f (%s delay, alpha=0.05)\n",
 				results[0].Policy, other.Policy, tStat, pVal, verdict)
 		}
 	}
-	return nil
+	return results, nil
 }

@@ -28,6 +28,10 @@ type ExperimentConfig struct {
 	// curves but lets repeats contend for CPU, inflating the wall-clock
 	// running-time panels; leave it off when runtime fidelity matters.
 	Parallel bool
+	// Observer instruments every repeat's simulation runs (nil disables).
+	// Metric series accumulate across repeats and policies; trace events
+	// distinguish policies by their Policy field.
+	Observer *Observer
 }
 
 // DefaultExperimentConfig returns laptop-friendly settings.
@@ -84,6 +88,9 @@ func seriesExperiment(cfg ExperimentConfig, names []string, build func(seed int6
 		if err != nil {
 			perRepeat[r] = repeatResult{err: err}
 			return
+		}
+		if cfg.Observer != nil {
+			s.Observer = cfg.Observer
 		}
 		results, err := s.Compare(names...)
 		perRepeat[r] = repeatResult{results: results, err: err}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/mecsim/l4e/internal/bandit"
 	"github.com/mecsim/l4e/internal/caching"
+	"github.com/mecsim/l4e/internal/obs"
 )
 
 // IndexKind selects the arm index used by IndexOLGD.
@@ -39,11 +40,15 @@ func (k IndexKind) String() string {
 // rounded deterministically. Exploration happens implicitly because
 // uncertain arms have optimistic indices.
 type IndexOLGD struct {
-	kind IndexKind
-	arms *bandit.Arms
-	rng  *rand.Rand
-	n    int
+	kind     IndexKind
+	arms     *bandit.Arms
+	rng      *rand.Rand
+	n        int
+	observer *obs.Observer
 }
+
+// SetObserver implements ObserverSetter.
+func (x *IndexOLGD) SetObserver(o *obs.Observer) { x.observer = o }
 
 // NewIndexOLGD builds the ablation policy.
 func NewIndexOLGD(kind IndexKind, numStations int, optimisticPrior float64, seed int64) (*IndexOLGD, error) {
@@ -92,6 +97,7 @@ func (x *IndexOLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 	if err != nil {
 		return nil, err
 	}
+	recordSolve(x.observer, frac.Stats)
 	a := &caching.Assignment{BS: make([]int, len(p.Requests))}
 	for l := range p.Requests {
 		best, bestX := 0, -1.0
@@ -105,14 +111,24 @@ func (x *IndexOLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 	if err := repairCapacity(p, a); err != nil {
 		return nil, err
 	}
+	if ob := x.observer; ob.TraceEnabled() {
+		ob.Emit(obs.Event{Slot: view.T, Name: "indexolgd.decide", Policy: x.Name(), Fields: obs.Fields{
+			"index":             x.kind.String(),
+			"solver":            string(frac.Stats.Solver),
+			"solver_iterations": frac.Stats.Iterations,
+			"arms":              distinctStations(a),
+			"arms_played_total": x.arms.PlayedArms(),
+		}})
+	}
 	return a, nil
 }
 
 // Observe implements Policy.
-func (x *IndexOLGD) Observe(obs *Observation) {
-	for i, d := range obs.PlayedDelays {
+func (x *IndexOLGD) Observe(ob *Observation) {
+	for i, d := range ob.PlayedDelays {
 		x.arms.Observe(i, d)
 	}
+	x.observer.Add("bandit.observations", int64(len(ob.PlayedDelays)))
 }
 
 var _ Policy = (*IndexOLGD)(nil)

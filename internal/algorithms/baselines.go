@@ -7,6 +7,7 @@ import (
 	"github.com/mecsim/l4e/internal/bandit"
 	"github.com/mecsim/l4e/internal/caching"
 	"github.com/mecsim/l4e/internal/mec"
+	"github.com/mecsim/l4e/internal/obs"
 )
 
 // greedyAssignOrder assigns requests in the given order, each to the station
@@ -97,7 +98,11 @@ func (e *estimator) observe(obs *Observation) {
 // tasks a better station could still have served.
 type GreedyGD struct {
 	estimator
+	observer *obs.Observer
 }
+
+// SetObserver implements ObserverSetter.
+func (g *GreedyGD) SetObserver(o *obs.Observer) { g.observer = o }
 
 // NewGreedyGD builds the baseline. historical supplies the per-station
 // latency estimates the operator has on file (one per station); adaptive
@@ -134,7 +139,9 @@ func (g *GreedyGD) Decide(view *SlotView) (*caching.Assignment, error) {
 	}
 	load := make([]float64, p.NumStations)
 	remaining := len(p.Requests)
+	passes := 0
 	for pass := 0; remaining > 0; pass++ {
+		passes = pass + 1
 		progress := false
 		for _, i := range order {
 			if remaining == 0 {
@@ -180,6 +187,12 @@ func (g *GreedyGD) Decide(view *SlotView) (*caching.Assignment, error) {
 			return nil, fmt.Errorf("algorithms: Greedy_GD cannot place %d requests (capacity exhausted)", remaining)
 		}
 	}
+	if ob := g.observer; ob.TraceEnabled() {
+		ob.Emit(obs.Event{Slot: view.T, Name: "greedygd.decide", Policy: g.Name(), Fields: obs.Fields{
+			"passes":        passes,
+			"stations_used": len(distinctStations(a)),
+		}})
+	}
 	return a, nil
 }
 
@@ -193,7 +206,11 @@ func (g *GreedyGD) Observe(obs *Observation) { g.observe(obs) }
 type PriGD struct {
 	estimator
 	priority []int // per request: coverage count (higher = served earlier)
+	observer *obs.Observer
 }
+
+// SetObserver implements ObserverSetter.
+func (p *PriGD) SetObserver(o *obs.Observer) { p.observer = o }
 
 // NewPriGD builds the baseline. The per-request priorities are derived from
 // the network geometry once (coverage is static); historical supplies the
@@ -235,7 +252,23 @@ func (p *PriGD) Decide(view *SlotView) (*caching.Assignment, error) {
 	sort.SliceStable(order, func(a, b int) bool {
 		return p.priority[prob.Requests[order[a]].ID] > p.priority[prob.Requests[order[b]].ID]
 	})
-	return greedyAssignOrder(prob, order)
+	a, err := greedyAssignOrder(prob, order)
+	if err != nil {
+		return nil, err
+	}
+	if ob := p.observer; ob.TraceEnabled() {
+		maxPri := 0
+		for _, r := range prob.Requests {
+			if pr := p.priority[r.ID]; pr > maxPri {
+				maxPri = pr
+			}
+		}
+		ob.Emit(obs.Event{Slot: view.T, Name: "prigd.decide", Policy: p.Name(), Fields: obs.Fields{
+			"max_priority":  maxPri,
+			"stations_used": len(distinctStations(a)),
+		}})
+	}
+	return a, nil
 }
 
 // Observe implements Policy.
@@ -247,10 +280,15 @@ func (p *PriGD) Observe(obs *Observation) { p.observe(obs) }
 // It is the per-slot reference for regret measurement, not a competitor.
 type Oracle struct {
 	trueDelays []float64
+	observer   *obs.Observer
 }
 
 // NewOracle builds the reference policy.
 func NewOracle() *Oracle { return &Oracle{} }
+
+// SetObserver implements ObserverSetter (the oracle reports only its solver
+// effort; it has no learning state worth tracing).
+func (o *Oracle) SetObserver(ob *obs.Observer) { o.observer = ob }
 
 // Name implements Policy.
 func (o *Oracle) Name() string { return "Oracle" }
@@ -271,6 +309,7 @@ func (o *Oracle) Decide(view *SlotView) (*caching.Assignment, error) {
 	if err != nil {
 		return nil, err
 	}
+	recordSolve(o.observer, frac.Stats)
 	// Deterministic rounding: argmax x*_li per request, then repair.
 	a := &caching.Assignment{BS: make([]int, len(p.Requests))}
 	for l := range p.Requests {

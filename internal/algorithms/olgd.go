@@ -6,6 +6,7 @@ import (
 
 	"github.com/mecsim/l4e/internal/bandit"
 	"github.com/mecsim/l4e/internal/caching"
+	"github.com/mecsim/l4e/internal/obs"
 )
 
 // OLGDConfig parameterises Algorithm 1.
@@ -60,10 +61,11 @@ func DefaultOLGDConfig(numStations int) OLGDConfig {
 // OLGD is Algorithm 1 (OL_GD): online learning for the dynamic service
 // caching problem with given demands.
 type OLGD struct {
-	cfg  OLGDConfig
-	arms *bandit.Arms
-	rng  *rand.Rand
-	name string
+	cfg      OLGDConfig
+	arms     *bandit.Arms
+	rng      *rand.Rand
+	name     string
+	observer *obs.Observer
 }
 
 // NewOLGD builds the policy.
@@ -105,6 +107,10 @@ func (o *OLGD) Name() string { return o.name }
 // regret experiments).
 func (o *OLGD) Arms() *bandit.Arms { return o.arms }
 
+// SetObserver implements ObserverSetter: per-slot decide events (epsilon,
+// explore-vs-exploit, solver effort, arms played) and bandit counters.
+func (o *OLGD) SetObserver(ob *obs.Observer) { o.observer = ob }
+
 // Decide implements Policy (Algorithm 1, lines 3-9).
 func (o *OLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 	p := view.Problem
@@ -118,6 +124,7 @@ func (o *OLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("algorithms: OLGD slot %d: %w", view.T, err)
 	}
+	recordSolve(o.observer, frac.Stats)
 	candidates := p.Candidates(frac, o.cfg.Gamma)
 
 	// Lines 5-9: epsilon_t-greedy over the candidate sets.
@@ -137,14 +144,40 @@ func (o *OLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 			return nil, err
 		}
 	}
+	if ob := o.observer; ob.Enabled() {
+		ob.Set("bandit.epsilon", eps)
+		if exploit {
+			ob.Inc("bandit.exploit_slots")
+		} else {
+			ob.Inc("bandit.explore_slots")
+		}
+		if ob.TraceEnabled() {
+			candTotal := 0
+			for _, set := range candidates {
+				candTotal += len(set)
+			}
+			ob.Emit(obs.Event{Slot: view.T, Name: "olgd.decide", Policy: o.name, Fields: obs.Fields{
+				"epsilon":           eps,
+				"explore":           !exploit,
+				"solver":            string(frac.Stats.Solver),
+				"solver_iterations": frac.Stats.Iterations,
+				"phase1_iterations": frac.Stats.Phase1Iterations,
+				"lp_objective_ms":   frac.Objective,
+				"candidates_mean":   float64(candTotal) / float64(len(candidates)),
+				"arms":              distinctStations(a),
+				"arms_played_total": o.arms.PlayedArms(),
+			}})
+		}
+	}
 	return a, nil
 }
 
 // Observe implements Policy (Algorithm 1, lines 10-11).
-func (o *OLGD) Observe(obs *Observation) {
-	for i, d := range obs.PlayedDelays {
+func (o *OLGD) Observe(ob *Observation) {
+	for i, d := range ob.PlayedDelays {
 		o.arms.Observe(i, d)
 	}
+	o.observer.Add("bandit.observations", int64(len(ob.PlayedDelays)))
 }
 
 var _ Policy = (*OLGD)(nil)

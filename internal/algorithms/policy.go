@@ -23,6 +23,7 @@ import (
 	"math/rand"
 
 	"github.com/mecsim/l4e/internal/caching"
+	"github.com/mecsim/l4e/internal/obs"
 )
 
 // SlotView is what a policy sees at the START of slot t.
@@ -74,6 +75,53 @@ type Policy interface {
 	Decide(view *SlotView) (*caching.Assignment, error)
 	// Observe feeds back the slot's revealed information.
 	Observe(obs *Observation)
+}
+
+// ObserverSetter is implemented by policies that accept an observability
+// sink. The simulator injects its observer before the first slot; policies
+// without internals worth tracing simply don't implement it (the simulator's
+// own per-slot span still covers them).
+type ObserverSetter interface {
+	SetObserver(*obs.Observer)
+}
+
+// SolverCountBuckets are histogram bounds for solver iteration counts
+// (simplex pivots, flow augmentations) — integer effort, not latency.
+var SolverCountBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// recordSolve publishes one LP-relaxation solve's effort to the observer:
+// which backend the size-dispatch picked (the min-cost-flow fast path vs the
+// exact simplex) and how hard it worked.
+func recordSolve(o *obs.Observer, stats caching.SolveStats) {
+	if !o.Enabled() {
+		return
+	}
+	o.Inc("lp.solves")
+	o.Inc("lp.solves." + string(stats.Solver))
+	o.ObserveWith("lp.iterations", SolverCountBuckets, float64(stats.Iterations))
+	if stats.Phase1Iterations > 0 {
+		o.ObserveWith("lp.phase1_iterations", SolverCountBuckets, float64(stats.Phase1Iterations))
+	}
+}
+
+// distinctStations returns the sorted set of stations used by an assignment —
+// the bandit arms "played" this slot.
+func distinctStations(a *caching.Assignment) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, i := range a.BS {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	// Insertion sort: the set is small (tens of stations).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }
 
 // repairCapacity makes an assignment capacity-feasible by moving requests

@@ -6,6 +6,7 @@ import (
 	"github.com/mecsim/l4e/internal/caching"
 	"github.com/mecsim/l4e/internal/forecast"
 	"github.com/mecsim/l4e/internal/gan"
+	"github.com/mecsim/l4e/internal/obs"
 )
 
 // OLReg is the OL_Reg baseline: Algorithm 1 driven by per-request ARMA
@@ -44,6 +45,10 @@ func NewOLReg(cfg OLGDConfig, order int, basics []float64) (*OLReg, error) {
 // Name implements Policy.
 func (o *OLReg) Name() string { return o.inner.Name() }
 
+// SetObserver implements ObserverSetter (forwards to the inner OL_GD; the
+// predictor contributes its own counter).
+func (o *OLReg) SetObserver(ob *obs.Observer) { o.inner.SetObserver(ob) }
+
 // Decide implements Policy: predict each active request's volume (looked up
 // by stable request ID, so R(t) churn is handled), then run OL_GD.
 func (o *OLReg) Decide(view *SlotView) (*caching.Assignment, error) {
@@ -58,6 +63,7 @@ func (o *OLReg) Decide(view *SlotView) (*caching.Assignment, error) {
 		}
 		view.Problem.Requests[l].Volume = v
 	}
+	o.inner.observer.Add("predictor.arma_predictions", int64(len(view.Problem.Requests)))
 	return o.inner.Decide(view)
 }
 
@@ -124,6 +130,7 @@ type OLGAN struct {
 	pendingFeat [][]float64
 	clusters    []int
 	trained     bool
+	observer    *obs.Observer
 }
 
 // NewOLGAN builds Algorithm 2. basics supplies known basic demands;
@@ -171,6 +178,15 @@ func (o *OLGAN) Name() string { return o.inner.Name() }
 // Trained reports whether the GAN has completed its first training round.
 func (o *OLGAN) Trained() bool { return o.trained }
 
+// SetObserver implements ObserverSetter: the inner OL_GD reports bandit and
+// solver series, the GAN reports per-epoch losses, and OLGAN itself counts
+// (re)training rounds and which predictor served each slot.
+func (o *OLGAN) SetObserver(ob *obs.Observer) {
+	o.observer = ob
+	o.inner.SetObserver(ob)
+	o.model.SetObserver(ob)
+}
+
 // Model exposes the underlying Info-RNN-GAN (diagnostics).
 func (o *OLGAN) Model() *gan.InfoRNNGAN { return o.model }
 
@@ -202,14 +218,27 @@ func (o *OLGAN) Decide(view *SlotView) (*caching.Assignment, error) {
 				return nil, err
 			}
 			o.trained = true
+			o.observer.Inc("olgan.initial_trainings")
+			if o.observer.TraceEnabled() {
+				o.observer.Emit(obs.Event{Slot: view.T, Name: "olgan.train", Policy: o.Name(), Fields: obs.Fields{
+					"kind": "initial", "series": len(o.trainSamples()),
+				}})
+			}
 		}
 	} else if o.trained && o.cfg.RetrainEvery > 0 && (view.T-o.cfg.WarmupSlots)%o.cfg.RetrainEvery == 0 && view.T > o.cfg.WarmupSlots {
 		if err := o.retrain(); err != nil {
 			return nil, err
 		}
+		o.observer.Inc("olgan.retrains")
+		if o.observer.TraceEnabled() {
+			o.observer.Emit(obs.Event{Slot: view.T, Name: "olgan.train", Policy: o.Name(), Fields: obs.Fields{
+				"kind": "retrain", "series": len(o.trainSamples()),
+			}})
+		}
 	}
 
 	// Predict each active request's volume for this slot.
+	ganPreds, warmPreds := 0, 0
 	for l := range view.Problem.Requests {
 		id := view.Problem.Requests[l].ID
 		var v float64
@@ -225,14 +254,18 @@ func (o *OLGAN) Decide(view *SlotView) (*caching.Assignment, error) {
 				return nil, fmt.Errorf("algorithms: OLGAN predict request %d: %w", id, err)
 			}
 			v = pred
+			ganPreds++
 		} else {
 			v = o.warm[id].Predict()
+			warmPreds++
 		}
 		if v < o.basics[id] {
 			v = o.basics[id]
 		}
 		view.Problem.Requests[l].Volume = v
 	}
+	o.observer.Add("predictor.gan_predictions", int64(ganPreds))
+	o.observer.Add("predictor.warm_arma_predictions", int64(warmPreds))
 	return o.inner.Decide(view)
 }
 
@@ -309,6 +342,7 @@ func (o *OLGAN) retrain() error {
 	if err != nil {
 		return err
 	}
+	model.SetObserver(o.observer)
 	// Continue from current weights is not supported by gan.New; retraining
 	// from scratch on MORE data is the small-sample-friendly choice and
 	// keeps the predictor honest about what it has seen.

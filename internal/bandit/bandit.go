@@ -101,6 +101,19 @@ func (a *Arms) TotalPlays() int {
 	return total
 }
 
+// PlayedArms counts arms observed at least once — the learner's coverage of
+// the station set, surfaced per slot by the observability layer to show how
+// exploration spreads over time.
+func (a *Arms) PlayedArms() int {
+	n := 0
+	for _, c := range a.count {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // UCB returns the lower-confidence-bound index for a delay-minimisation
 // bandit at round t: mean_i - sqrt(2 ln t / m_i). Lower is better; unplayed
 // arms return -Inf so they are tried first.

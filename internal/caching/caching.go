@@ -109,6 +109,36 @@ func (p *Problem) AssignCost(l, i int) float64 {
 	return p.Requests[l].Volume*p.UnitDelayMS[i] + p.accessLat(l, i)
 }
 
+// SolverKind identifies which relaxation backend produced a Fractional.
+type SolverKind string
+
+// Relaxation backends.
+const (
+	// SolverSimplex is the exact dense two-phase simplex (internal/lp) —
+	// the small-instance path and correctness oracle.
+	SolverSimplex SolverKind = "simplex"
+	// SolverFlow is the min-cost-flow reformulation (internal/flow) — the
+	// fast path at experiment scale.
+	SolverFlow SolverKind = "flow"
+)
+
+// SolveStats records the effort the relaxation backend spent on one solve.
+// It exists for observability: the learning policies surface these numbers
+// per slot so solver behaviour (fast-path dispatch, iteration blow-ups) is
+// visible in traces instead of buried in wall-clock totals.
+type SolveStats struct {
+	// Solver is the backend that produced the solution.
+	Solver SolverKind
+	// Iterations is the backend's unit of work: simplex pivots (both
+	// phases) or flow augmentations.
+	Iterations int
+	// Phase1Iterations is the simplex feasibility pivots (0 for flow).
+	Phase1Iterations int
+	// Variables and Constraints describe the lowered instance size.
+	Variables   int
+	Constraints int
+}
+
 // Fractional is a (possibly fractional) solution to the LP relaxation.
 type Fractional struct {
 	// X[l][i] is the fraction of request l served at station i.
@@ -117,6 +147,8 @@ type Fractional struct {
 	Y [][]float64
 	// Objective is the LP objective value (average delay, ms).
 	Objective float64
+	// Stats describes the solve effort (which backend, how many iterations).
+	Stats SolveStats
 }
 
 // Assignment is an integral solution: request l is served by station BS[l].
@@ -222,6 +254,13 @@ func (p *Problem) SolveLPExact() (*Fractional, error) {
 		X:         make([][]float64, L),
 		Y:         make([][]float64, K),
 		Objective: sol.Objective,
+		Stats: SolveStats{
+			Solver:           SolverSimplex,
+			Iterations:       sol.Iterations,
+			Phase1Iterations: sol.Phase1Iterations,
+			Variables:        prob.NumVariables(),
+			Constraints:      prob.NumConstraints(),
+		},
 	}
 	for l := 0; l < L; l++ {
 		frac.X[l] = make([]float64, N)
@@ -284,7 +323,8 @@ func (p *Problem) SolveLPFlow() (*Fractional, error) {
 		}
 	}
 
-	if _, err := g.MinCostFlow(src, sink, totalSupply); err != nil {
+	flowRes, err := g.MinCostFlow(src, sink, totalSupply)
+	if err != nil {
 		return nil, fmt.Errorf("caching: flow relaxation (capacity %v < demand %v?): %w",
 			sum(p.CapacityMHz), totalSupply, err)
 	}
@@ -292,6 +332,12 @@ func (p *Problem) SolveLPFlow() (*Fractional, error) {
 	frac := &Fractional{
 		X: make([][]float64, L),
 		Y: make([][]float64, K),
+		Stats: SolveStats{
+			Solver:      SolverFlow,
+			Iterations:  flowRes.Augmentations,
+			Variables:   len(edges),
+			Constraints: L + N,
+		},
 	}
 	for l := 0; l < L; l++ {
 		frac.X[l] = make([]float64, N)

@@ -59,6 +59,12 @@ func (g *Graph) Flow(id int) float64 { return g.edges[id].flow }
 type Result struct {
 	Flow float64
 	Cost float64
+	// Augmentations counts shortest-path searches that pushed flow — the
+	// solver's unit of work (each is one Dijkstra over the residual graph).
+	Augmentations int
+	// UsedBellmanFord reports whether negative edge costs forced the initial
+	// Bellman-Ford potential pass (the slow path).
+	UsedBellmanFord bool
 }
 
 // ErrDisconnected is returned by MinCostFlow when the requested flow value
@@ -101,15 +107,16 @@ func (g *Graph) MinCostFlow(s, t int, want float64) (Result, error) {
 	}
 
 	pot := make([]float64, g.n)
+	var res Result
 	if g.hasNegativeCost() {
 		if err := g.bellmanFord(s, pot); err != nil {
 			return Result{}, err
 		}
+		res.UsedBellmanFord = true
 	}
 
 	dist := make([]float64, g.n)
 	prevEdge := make([]int, g.n)
-	var res Result
 
 	for res.Flow < want-_eps {
 		// Dijkstra with reduced costs.
@@ -163,6 +170,7 @@ func (g *Graph) MinCostFlow(s, t int, want float64) (Result, error) {
 			v = g.edges[id^1].to
 		}
 		res.Flow += push
+		res.Augmentations++
 	}
 
 	if !math.IsInf(want, 1) && res.Flow < want-1e-6 {

@@ -34,6 +34,7 @@ import (
 	"math/rand"
 
 	"github.com/mecsim/l4e/internal/nn"
+	"github.com/mecsim/l4e/internal/obs"
 )
 
 // Cell selects the generator's recurrent body (ablation; the paper's
@@ -174,6 +175,8 @@ type InfoRNNGAN struct {
 
 	// Diagnostics from the last Train call.
 	history TrainHistory
+	// observer receives per-epoch loss metrics and trace events (nil = off).
+	observer *obs.Observer
 }
 
 // TrainHistory records per-epoch losses for diagnostics.
@@ -228,6 +231,11 @@ func ones(n int) []float64 {
 
 // History returns the loss diagnostics of the last Train call.
 func (m *InfoRNNGAN) History() TrainHistory { return m.history }
+
+// SetObserver attaches an observability sink: Train then records per-epoch
+// G/D/Q losses as metrics ("gan.*" series) and emits one trace event per
+// epoch (Event.Slot carries the epoch index). A nil observer disables it.
+func (m *InfoRNNGAN) SetObserver(o *obs.Observer) { m.observer = o }
 
 // oneHot builds the cluster part of the latent code.
 func (m *InfoRNNGAN) oneHot(code int) []float64 {
@@ -479,7 +487,16 @@ func (m *InfoRNNGAN) Train(samples []Sample) error {
 				return err
 			}
 		}
-		m.history.Pretrain = append(m.history.Pretrain, total/float64(len(pool)))
+		loss := total / float64(len(pool))
+		m.history.Pretrain = append(m.history.Pretrain, loss)
+		if m.observer.Enabled() {
+			m.observer.Inc("gan.pretrain_epochs")
+			m.observer.Set("gan.pretrain_mse", loss)
+			m.observer.Emit(obs.Event{Slot: epoch, Name: "gan.pretrain_epoch", Fields: obs.Fields{
+				"mse":     loss,
+				"windows": len(pool),
+			}})
+		}
 	}
 
 	// Phase 2: adversarial refinement with the InfoGAN objective. A fake
@@ -564,6 +581,21 @@ func (m *InfoRNNGAN) Train(samples []Sample) error {
 		m.history.DLoss = append(m.history.DLoss, dTotal/n)
 		m.history.GLoss = append(m.history.GLoss, gTotal/n)
 		m.history.QLoss = append(m.history.QLoss, qTotal/n)
+		if m.observer.Enabled() {
+			m.observer.Inc("gan.adv_epochs")
+			m.observer.Set("gan.d_loss", dTotal/n)
+			m.observer.Set("gan.g_loss", gTotal/n)
+			m.observer.Set("gan.q_loss", qTotal/n)
+			m.observer.Emit(obs.Event{Slot: epoch, Name: "gan.adv_epoch", Fields: obs.Fields{
+				"d_loss":  dTotal / n,
+				"g_loss":  gTotal / n,
+				"q_loss":  qTotal / n,
+				"windows": len(pool),
+			}})
+		}
+	}
+	if m.observer.Enabled() {
+		m.observer.Inc("gan.train_rounds")
 	}
 	return nil
 }

@@ -165,10 +165,16 @@ func (s Status) String() string {
 
 // Solution is the result of solving a Problem.
 type Solution struct {
-	Status     Status
-	Objective  float64
-	X          []float64
+	Status    Status
+	Objective float64
+	X         []float64
+	// Iterations is the total simplex pivot count across both phases.
 	Iterations int
+	// Phase1Iterations is the pivots spent driving artificials out
+	// (feasibility search); Iterations - Phase1Iterations is the phase-2
+	// optimisation effort. Exposed for observability: a high phase-1 share
+	// means the instance is feasibility-hard, not optimisation-hard.
+	Phase1Iterations int
 }
 
 // Errors returned by Solve.
@@ -428,6 +434,7 @@ func (t *tableau) objectiveValue(obj func(col int) float64) float64 {
 
 func (t *tableau) solve() (*Solution, error) {
 	totalIters := 0
+	phase1Iters := 0
 
 	// Phase 1: minimise sum of artificials.
 	if t.nArt > 0 {
@@ -439,6 +446,7 @@ func (t *tableau) solve() (*Solution, error) {
 		}
 		status, iters, err := t.iterate(artObj, t.width())
 		totalIters += iters
+		phase1Iters = iters
 		if err != nil {
 			if errors.Is(err, ErrUnbounded) {
 				// Phase-1 objective is bounded below by 0; unbounded here
@@ -491,9 +499,10 @@ func (t *tableau) solve() (*Solution, error) {
 		}
 	}
 	return &Solution{
-		Status:     StatusOptimal,
-		Objective:  t.objectiveValue(obj),
-		X:          x,
-		Iterations: totalIters,
+		Status:           StatusOptimal,
+		Objective:        t.objectiveValue(obj),
+		X:                x,
+		Iterations:       totalIters,
+		Phase1Iterations: phase1Iters,
 	}, nil
 }

@@ -13,47 +13,76 @@ import (
 
 // Summary holds basic statistics of a sample.
 type Summary struct {
-	N      int
+	// N is the total number of inputs, NaNs included.
+	N int
+	// NaNs counts NaN inputs. They are excluded from every statistic below
+	// (a single NaN would otherwise poison the whole summary); callers that
+	// treat NaN as a bug check this field.
+	NaNs   int
 	Mean   float64
 	Stddev float64
 	Min    float64
 	Max    float64
 	// CI95 is the half-width of the normal-approximation 95% confidence
-	// interval of the mean.
+	// interval of the mean (over the non-NaN count).
 	CI95 float64
 }
 
-// Summarize computes summary statistics. An empty sample yields a zero
-// Summary.
+// Summarize computes summary statistics. An empty or all-NaN sample yields a
+// Summary with zero statistics. NaN inputs are counted in NaNs and excluded;
+// infinities are legitimate values and propagate (Mean and Stddev of a sample
+// containing +Inf are +Inf/NaN by IEEE arithmetic, which the caller asked for).
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
-		return Summary{}
-	}
-	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	s := Summary{N: len(xs)}
 	for _, x := range xs {
+		if math.IsNaN(x) {
+			s.NaNs++
+		}
+	}
+	finite := s.N - s.NaNs
+	if finite == 0 {
+		return s
+	}
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
 		s.Mean += x
 		s.Min = math.Min(s.Min, x)
 		s.Max = math.Max(s.Max, x)
 	}
-	s.Mean /= float64(s.N)
-	if s.N > 1 {
+	s.Mean /= float64(finite)
+	if finite > 1 {
 		ss := 0.0
 		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
 			ss += (x - s.Mean) * (x - s.Mean)
 		}
-		s.Stddev = math.Sqrt(ss / float64(s.N-1))
-		s.CI95 = 1.96 * s.Stddev / math.Sqrt(float64(s.N))
+		s.Stddev = math.Sqrt(ss / float64(finite-1))
+		s.CI95 = 1.96 * s.Stddev / math.Sqrt(float64(finite))
 	}
 	return s
 }
 
 // Percentile returns the q-th percentile (0..100) by linear interpolation.
+// NaN inputs are rejected explicitly: NaN has no order, so sorting a sample
+// containing one would silently misplace every other value. Infinities are
+// ordered and therefore allowed (the percentile may itself be ±Inf).
 func Percentile(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, fmt.Errorf("metrics: percentile of empty sample")
 	}
 	if q < 0 || q > 100 {
 		return 0, fmt.Errorf("metrics: percentile %v outside [0,100]", q)
+	}
+	for i, x := range xs {
+		if math.IsNaN(x) {
+			return 0, fmt.Errorf("metrics: percentile input %d is NaN", i)
+		}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -226,6 +255,9 @@ func WelchTTest(a, b []float64) (tStat, pValue float64, err error) {
 		return 0, 0, fmt.Errorf("metrics: Welch t-test needs >= 2 samples per side (got %d, %d)", len(a), len(b))
 	}
 	sa, sb := Summarize(a), Summarize(b)
+	if sa.NaNs > 0 || sb.NaNs > 0 {
+		return 0, 0, fmt.Errorf("metrics: Welch t-test inputs contain NaN (%d, %d)", sa.NaNs, sb.NaNs)
+	}
 	va := sa.Stddev * sa.Stddev / float64(sa.N)
 	vb := sb.Stddev * sb.Stddev / float64(sb.N)
 	se := math.Sqrt(va + vb)

@@ -240,3 +240,63 @@ func TestWelchTTest(t *testing.T) {
 		t.Errorf("degenerate equal: p=%v err=%v", p3, err)
 	}
 }
+
+func TestSummarizeNaNInputs(t *testing.T) {
+	nan := math.NaN()
+	s := Summarize([]float64{1, nan, 3, nan, 5})
+	if s.N != 5 || s.NaNs != 2 {
+		t.Fatalf("N=%d NaNs=%d, want 5 and 2", s.N, s.NaNs)
+	}
+	if s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("stats over non-NaN values: mean=%v min=%v max=%v", s.Mean, s.Min, s.Max)
+	}
+	if math.IsNaN(s.Stddev) || math.IsNaN(s.CI95) {
+		t.Errorf("NaN leaked into Stddev=%v CI95=%v", s.Stddev, s.CI95)
+	}
+
+	all := Summarize([]float64{nan, nan})
+	if all.N != 2 || all.NaNs != 2 {
+		t.Fatalf("all-NaN: N=%d NaNs=%d", all.N, all.NaNs)
+	}
+	if all.Mean != 0 || all.Min != 0 || all.Max != 0 {
+		t.Errorf("all-NaN sample must zero the statistics, got %+v", all)
+	}
+}
+
+func TestSummarizeInfPropagates(t *testing.T) {
+	s := Summarize([]float64{1, math.Inf(1), 3})
+	if s.NaNs != 0 {
+		t.Fatalf("Inf miscounted as NaN: %d", s.NaNs)
+	}
+	if !math.IsInf(s.Mean, 1) || !math.IsInf(s.Max, 1) || s.Min != 1 {
+		t.Errorf("Inf must propagate: mean=%v min=%v max=%v", s.Mean, s.Min, s.Max)
+	}
+}
+
+func TestPercentileRejectsNaN(t *testing.T) {
+	if _, err := Percentile([]float64{1, math.NaN(), 3}, 50); err == nil {
+		t.Error("NaN input accepted")
+	}
+}
+
+func TestPercentileAllowsInf(t *testing.T) {
+	v, err := Percentile([]float64{1, 2, math.Inf(1)}, 100)
+	if err != nil || !math.IsInf(v, 1) {
+		t.Errorf("p100 of {1,2,+Inf}: v=%v err=%v", v, err)
+	}
+	v, err = Percentile([]float64{math.Inf(-1), 0, 1}, 0)
+	if err != nil || !math.IsInf(v, -1) {
+		t.Errorf("p0 of {-Inf,0,1}: v=%v err=%v", v, err)
+	}
+	// Interpolating between a finite value and +Inf is +Inf.
+	v, err = Percentile([]float64{1, math.Inf(1)}, 75)
+	if err != nil || !math.IsInf(v, 1) {
+		t.Errorf("p75 of {1,+Inf}: v=%v err=%v", v, err)
+	}
+}
+
+func TestWelchTTestRejectsNaN(t *testing.T) {
+	if _, _, err := WelchTTest([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Error("NaN sample accepted")
+	}
+}

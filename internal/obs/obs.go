@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"io"
+	"runtime"
+)
+
+// Options configures an Observer.
+type Options struct {
+	// TraceWriter receives JSONL trace events; nil disables tracing (metrics
+	// still collect).
+	TraceWriter io.Writer
+	// SampleRuntime enables per-slot heap/goroutine/GC gauges (the simulator
+	// calls SampleRuntime once per slot when this is set). Sampling calls
+	// runtime.ReadMemStats, which briefly stops the world, so it is opt-in.
+	SampleRuntime bool
+}
+
+// Observer bundles a metrics registry, an optional tracer, and runtime
+// sampling. A nil *Observer is the nop observer: every method is nil-safe
+// and free apart from the receiver test, so instrumented code holds a plain
+// *Observer and never branches on a separate enabled flag.
+type Observer struct {
+	reg           *Registry
+	tracer        *Tracer
+	sampleRuntime bool
+}
+
+// New builds an enabled observer.
+func New(opts Options) *Observer {
+	o := &Observer{reg: NewRegistry(), sampleRuntime: opts.SampleRuntime}
+	if opts.TraceWriter != nil {
+		o.tracer = NewTracer(opts.TraceWriter)
+	}
+	return o
+}
+
+// Nop returns the disabled observer (nil; all methods are no-ops).
+func Nop() *Observer { return nil }
+
+// Enabled reports whether the observer collects anything.
+func (o *Observer) Enabled() bool { return o != nil }
+
+// TraceEnabled reports whether trace events are being recorded. Callers use
+// it to skip building Fields maps when tracing is off.
+func (o *Observer) TraceEnabled() bool { return o != nil && o.tracer != nil }
+
+// Registry exposes the underlying registry (nil when disabled).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Inc increments the named counter.
+func (o *Observer) Inc(name string) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter(name).Inc()
+}
+
+// Add adds delta to the named counter.
+func (o *Observer) Add(name string, delta int64) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter(name).Add(delta)
+}
+
+// Set sets the named gauge.
+func (o *Observer) Set(name string, v float64) {
+	if o == nil {
+		return
+	}
+	o.reg.Gauge(name).Set(v)
+}
+
+// Observe records v in the named histogram (DefaultLatencyBuckets bounds).
+func (o *Observer) Observe(name string, v float64) {
+	if o == nil {
+		return
+	}
+	o.reg.Histogram(name, nil).Observe(v)
+}
+
+// ObserveWith records v in the named histogram, creating it with the given
+// bounds on first use.
+func (o *Observer) ObserveWith(name string, bounds []float64, v float64) {
+	if o == nil {
+		return
+	}
+	o.reg.Histogram(name, bounds).Observe(v)
+}
+
+// Emit appends a trace event (dropped when tracing is disabled). Callers on
+// hot paths should guard with TraceEnabled to avoid building the Fields map.
+func (o *Observer) Emit(ev Event) {
+	if o == nil || o.tracer == nil {
+		return
+	}
+	o.tracer.Emit(ev)
+}
+
+// Snapshot freezes the current metrics (zero value when disabled).
+func (o *Observer) Snapshot() Snapshot {
+	if o == nil {
+		return Snapshot{}
+	}
+	return o.reg.Snapshot()
+}
+
+// SampleRuntime records heap/goroutine/GC gauges for the given slot when
+// runtime sampling is enabled. It stays cheap when sampling is off.
+func (o *Observer) SampleRuntime(slot int) {
+	if o == nil || !o.sampleRuntime {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	o.reg.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	o.reg.Gauge("runtime.heap_objects").Set(float64(ms.HeapObjects))
+	o.reg.Gauge("runtime.gc_cycles").Set(float64(ms.NumGC))
+	o.reg.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	if o.tracer != nil {
+		o.tracer.Emit(Event{Slot: slot, Name: "runtime.sample", Fields: Fields{
+			"heap_alloc_bytes": ms.HeapAlloc,
+			"heap_objects":     ms.HeapObjects,
+			"gc_cycles":        ms.NumGC,
+			"goroutines":       runtime.NumGoroutine(),
+		}})
+	}
+}
+
+// Flush drains the tracer's buffer (no-op when disabled or untraced).
+func (o *Observer) Flush() error {
+	if o == nil || o.tracer == nil {
+		return nil
+	}
+	return o.tracer.Flush()
+}

@@ -18,6 +18,7 @@ import (
 	"github.com/mecsim/l4e/internal/bandit"
 	"github.com/mecsim/l4e/internal/caching"
 	"github.com/mecsim/l4e/internal/mec"
+	"github.com/mecsim/l4e/internal/obs"
 	"github.com/mecsim/l4e/internal/workload"
 )
 
@@ -50,6 +51,11 @@ type Config struct {
 	FailureRate float64
 	// FailureSlots is how long a failed station stays down (default 5).
 	FailureSlots int
+	// Observer receives per-slot spans and metrics. nil (the default)
+	// disables all instrumentation; every hook is nil-safe, so the disabled
+	// path costs one pointer test per call site and leaves per-slot results
+	// bit-identical to an uninstrumented build.
+	Observer *obs.Observer
 }
 
 // Result summarises one policy's run.
@@ -200,6 +206,27 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 		res.Regret = &bandit.RegretTracker{}
 	}
 
+	ob := r.cfg.Observer
+	if setter, ok := policy.(algorithms.ObserverSetter); ok {
+		setter.SetObserver(ob)
+	}
+	if oracle != nil {
+		oracle.SetObserver(ob)
+	}
+	if ob.TraceEnabled() {
+		ob.Emit(obs.Event{Slot: 0, Name: "run.start", Policy: policy.Name(), Fields: obs.Fields{
+			"slots":         T,
+			"stations":      r.net.NumStations(),
+			"requests":      len(r.w.Requests),
+			"demands_given": r.cfg.DemandsGiven,
+			"warm_cache":    r.cfg.WarmCache,
+			"seed":          r.cfg.Seed,
+		}})
+	}
+	// Instance set of the previous slot, tracked for cache-churn metrics only
+	// (independent of the WarmCache accounting, which is a charging rule).
+	var obsPrevInst map[[2]int]bool
+
 	clusters := make([]int, len(r.w.Requests))
 	for l, req := range r.w.Requests {
 		clusters[l] = req.Cluster
@@ -267,6 +294,68 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 		res.PerSlotDelayMS = append(res.PerSlotDelayMS, avg)
 		res.PerSlotRuntimeMS = append(res.PerSlotRuntimeMS, float64(elapsed)/float64(time.Millisecond))
 
+		if ob.Enabled() {
+			decideMS := float64(elapsed) / float64(time.Millisecond)
+			ob.Inc("sim.slots")
+			ob.Observe("sim.decide_ms", decideMS)
+			ob.Observe("sim.slot_delay_ms", avg)
+			if !feasible {
+				ob.Inc("sim.overload_slots")
+			}
+
+			// Cache churn: the slot's instance set is the distinct
+			// (service, station) pairs the assignment instantiates.
+			slotInst := make(map[[2]int]bool)
+			for l, i := range assignment.BS {
+				slotInst[[2]int{evalProblem.Requests[l].Service, i}] = true
+			}
+			added, evicted := 0, 0
+			for ki := range slotInst {
+				if !obsPrevInst[ki] {
+					added++
+				}
+			}
+			for ki := range obsPrevInst {
+				if !slotInst[ki] {
+					evicted++
+				}
+			}
+			obsPrevInst = slotInst
+			ob.Add("sim.instances_added", int64(added))
+			ob.Add("sim.instances_evicted", int64(evicted))
+			ob.Set("sim.instances_active", float64(len(slotInst)))
+
+			// Realised-vs-predicted volume error: under demand uncertainty the
+			// policy overwrote view volumes with its predictions at Decide;
+			// evalProblem holds the realised rho_l(t) in the same order.
+			volMAE := math.NaN()
+			if !r.cfg.DemandsGiven && len(evalProblem.Requests) > 0 {
+				sum := 0.0
+				for l := range evalProblem.Requests {
+					sum += math.Abs(view.Problem.Requests[l].Volume - evalProblem.Requests[l].Volume)
+				}
+				volMAE = sum / float64(len(evalProblem.Requests))
+				ob.Set("predictor.volume_mae", volMAE)
+			}
+
+			if ob.TraceEnabled() {
+				f := obs.Fields{
+					"delay_ms":          avg,
+					"decide_ms":         decideMS,
+					"requests":          len(evalProblem.Requests),
+					"overload":          !feasible,
+					"instances_active":  len(slotInst),
+					"instances_added":   added,
+					"instances_evicted": evicted,
+				}
+				if !math.IsNaN(volMAE) {
+					f["volume_mae"] = volMAE
+				}
+				ob.Emit(obs.Event{Slot: t, Name: "slot", Policy: policy.Name(), Fields: f})
+			}
+			ob.SampleRuntime(t)
+		}
+
 		// Feedback: played arms and realised volumes.
 		played := make(map[int]float64)
 		for _, i := range assignment.BS {
@@ -298,6 +387,16 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 			if err := res.Regret.Record(avg, oavg); err != nil {
 				return nil, err
 			}
+			if ob.Enabled() {
+				ob.Set("sim.cumulative_regret_ms", res.Regret.Cumulative())
+				if ob.TraceEnabled() {
+					ob.Emit(obs.Event{Slot: t, Name: "regret", Policy: policy.Name(), Fields: obs.Fields{
+						"oracle_delay_ms": oavg,
+						"slot_regret_ms":  avg - oavg,
+						"cumulative_ms":   res.Regret.Cumulative(),
+					}})
+				}
+			}
 		}
 	}
 
@@ -307,6 +406,13 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 	res.AvgDelayMS /= float64(len(res.PerSlotDelayMS))
 	for _, rt := range res.PerSlotRuntimeMS {
 		res.TotalRuntimeMS += rt
+	}
+	if ob.Enabled() {
+		ob.Set("sim.avg_delay_ms", res.AvgDelayMS)
+		ob.Set("sim.total_runtime_ms", res.TotalRuntimeMS)
+		if err := ob.Flush(); err != nil {
+			return nil, fmt.Errorf("sim: flushing trace: %w", err)
+		}
 	}
 	return res, nil
 }

@@ -25,6 +25,7 @@ import (
 	"github.com/mecsim/l4e/internal/algorithms"
 	"github.com/mecsim/l4e/internal/bandit"
 	"github.com/mecsim/l4e/internal/mec"
+	"github.com/mecsim/l4e/internal/obs"
 	"github.com/mecsim/l4e/internal/sim"
 	"github.com/mecsim/l4e/internal/topology"
 	"github.com/mecsim/l4e/internal/workload"
@@ -42,7 +43,28 @@ type (
 	Policy = algorithms.Policy
 	// Result is one policy's simulation outcome.
 	Result = sim.Result
+	// Observer collects runtime metrics and per-slot trace spans. A nil
+	// Observer disables all instrumentation at the cost of one pointer test
+	// per hook — simulation results are bit-identical either way.
+	Observer = obs.Observer
+	// ObserverOptions configures NewObserver.
+	ObserverOptions = obs.Options
+	// MetricsSnapshot is a frozen view of an observer's metric series.
+	MetricsSnapshot = obs.Snapshot
+	// TraceEvent is one JSONL trace span.
+	TraceEvent = obs.Event
 )
+
+// NewObserver builds an enabled observer. Pass it to a scenario with
+// WithObserver (or set Scenario.Observer) to instrument simulation runs:
+//
+//	var buf bytes.Buffer
+//	o := l4e.NewObserver(l4e.ObserverOptions{TraceWriter: &buf})
+//	s, _ := l4e.NewScenario(l4e.WithObserver(o))
+//	s.Compare("OL_GD", "Greedy_GD")
+//	snap := o.Snapshot() // named metric series
+//	// buf now holds one JSON object per trace event
+func NewObserver(opts ObserverOptions) *Observer { return obs.New(opts) }
 
 // Topology selects the network generator.
 type Topology int
@@ -87,6 +109,8 @@ type Scenario struct {
 	// FailureRate and FailureSlots configure station failure injection.
 	FailureRate  float64
 	FailureSlots int
+	// Observer instruments simulation runs (nil disables).
+	Observer *Observer
 }
 
 type scenarioConfig struct {
@@ -103,6 +127,7 @@ type scenarioConfig struct {
 	slots        int
 	wcfg         WorkloadConfig
 	wcfgSet      bool
+	observer     *Observer
 }
 
 // ScenarioOption customises NewScenario.
@@ -167,6 +192,12 @@ func WithFailures(rate float64, slots int) ScenarioOption {
 // unit-data delay in [50, 100] ms, services pre-deployed (no instantiation).
 func WithRemoteDC() ScenarioOption {
 	return func(c *scenarioConfig) { c.remoteDC = true }
+}
+
+// WithObserver attaches an observability sink to the scenario's simulation
+// runs (see NewObserver). The default is nil: no instrumentation.
+func WithObserver(o *Observer) ScenarioOption {
+	return func(c *scenarioConfig) { c.observer = o }
 }
 
 // WithWorkloadConfig overrides the workload configuration entirely.
@@ -234,6 +265,7 @@ func NewScenario(opts ...ScenarioOption) (*Scenario, error) {
 		WarmCache:        cfg.warmCache,
 		FailureRate:      cfg.failureRate,
 		FailureSlots:     cfg.failureSlots,
+		Observer:         cfg.observer,
 	}
 	if cfg.remoteDC {
 		// The DC's services are pre-deployed: zero instantiation delay.
@@ -379,6 +411,7 @@ func (s *Scenario) runner(trackRegret bool) (*sim.Runner, error) {
 		WarmCache:        s.WarmCache,
 		FailureRate:      s.FailureRate,
 		FailureSlots:     s.FailureSlots,
+		Observer:         s.Observer,
 	})
 }
 

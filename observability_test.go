@@ -1,0 +1,137 @@
+package l4e
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/mecsim/l4e/internal/obs"
+)
+
+func obsTestScenario(t *testing.T, o *Observer) *Scenario {
+	t.Helper()
+	wcfg := WorkloadConfig{
+		NumRequests: 10, NumServices: 3, Horizon: 15, NumClusters: 3,
+		BasicDemandMin: 1, BasicDemandMax: 3, BurstScale: 5,
+		BurstOnProb: 0.1, BurstStayProb: 0.7, CUnit: 40,
+	}
+	s, err := NewScenario(WithStations(15), WithWorkloadConfig(wcfg), WithSlots(15),
+		WithSeed(11), WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestObserverDisabledIsBitIdentical is the no-observer determinism guard:
+// attaching an observer must not perturb the simulation (instrumentation is
+// read-only and consumes no randomness), so per-slot delays are bit-identical
+// with and without it.
+func TestObserverDisabledIsBitIdentical(t *testing.T) {
+	run := func(o *Observer) []*Result {
+		results, err := obsTestScenario(t, o).Compare("OL_GD", "Greedy_GD", "Pri_GD")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	var buf bytes.Buffer
+	plain := run(nil)
+	traced := run(NewObserver(ObserverOptions{TraceWriter: &buf}))
+	for i := range plain {
+		for tt, d := range plain[i].PerSlotDelayMS {
+			if traced[i].PerSlotDelayMS[tt] != d {
+				t.Fatalf("%s slot %d: %x (plain) != %x (observed)",
+					plain[i].Policy, tt, d, traced[i].PerSlotDelayMS[tt])
+			}
+		}
+	}
+	if buf.Len() == 0 {
+		t.Fatal("observed run emitted no trace events")
+	}
+}
+
+// TestObserverTraceAndMetrics checks the integration surface end to end: one
+// "slot" span per simulated slot per policy, the documented fields on each,
+// and a snapshot with the advertised named series.
+func TestObserverTraceAndMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	o := NewObserver(ObserverOptions{TraceWriter: &buf, SampleRuntime: true})
+	s := obsTestScenario(t, o)
+	p, err := s.NewPolicy("OL_GD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunWithRegret(p); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := obs.DecodeEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotEvents := map[int]bool{}
+	decides := 0
+	for _, ev := range events {
+		switch ev.Name {
+		case "slot":
+			slotEvents[ev.Slot] = true
+			for _, field := range []string{"delay_ms", "decide_ms", "requests", "instances_active"} {
+				if _, ok := ev.Fields[field]; !ok {
+					t.Errorf("slot event missing field %q: %v", field, ev.Fields)
+				}
+			}
+		case "olgd.decide":
+			decides++
+			for _, field := range []string{"epsilon", "solver", "solver_iterations", "arms"} {
+				if _, ok := ev.Fields[field]; !ok {
+					t.Errorf("olgd.decide missing field %q: %v", field, ev.Fields)
+				}
+			}
+		}
+	}
+	if len(slotEvents) != 15 || decides != 15 {
+		t.Errorf("got %d slot spans and %d decide spans, want 15 each", len(slotEvents), decides)
+	}
+
+	snap := o.Snapshot()
+	if n := snap.NumSeries(); n < 10 {
+		t.Errorf("snapshot has %d series, want >= 10", n)
+	}
+	for _, name := range []string{"sim.slots", "lp.solves", "bandit.observations"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("missing counter %q (have %v)", name, snap.Counters)
+		}
+	}
+	for _, name := range []string{"sim.cumulative_regret_ms", "runtime.heap_alloc_bytes"} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("missing gauge %q (have %v)", name, snap.Gauges)
+		}
+	}
+	for _, name := range []string{"sim.decide_ms", "sim.slot_delay_ms", "lp.iterations"} {
+		if _, ok := snap.Histograms[name]; !ok {
+			t.Errorf("missing histogram %q", name)
+		}
+	}
+	if got := snap.Counters["sim.slots"]; got != 15 {
+		t.Errorf("sim.slots = %d, want 15", got)
+	}
+}
+
+// TestObserverSharedAcrossParallelRepeats drives the experiment harness's
+// Parallel path with a single shared observer — the configuration the race
+// detector must clear (lock-free registry, mutex-guarded tracer).
+func TestObserverSharedAcrossParallelRepeats(t *testing.T) {
+	var buf bytes.Buffer
+	o := NewObserver(ObserverOptions{TraceWriter: &buf})
+	cfg := ExperimentConfig{Repeats: 3, Slots: 6, Seed: 1, SmoothWindow: 1, Parallel: true, Observer: o}
+	if _, err := Figures()["fig3"](cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Snapshot()
+	if snap.Counters["sim.slots"] == 0 {
+		t.Error("shared observer recorded no slots")
+	}
+	if _, err := obs.DecodeEvents(&buf); err != nil {
+		t.Fatalf("interleaved trace stream is not valid JSONL: %v", err)
+	}
+}
