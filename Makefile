@@ -1,8 +1,10 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
 GO ?= go
+# PR number stamped into the benchmark-trajectory file (BENCH_$(PR).json).
+PR ?= 2
 
-.PHONY: all build test test-short vet race bench figures examples clean
+.PHONY: all build test test-short vet race bench bench-json figures examples clean
 
 all: build vet test
 
@@ -28,6 +30,13 @@ race:
 # Full benchmark suite: regenerates every paper figure plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x ./...
+
+# Benchmark-trajectory snapshot: runs the root-package benches (figure panels
+# with mean delays as custom metrics, plus the solver/LSTM micro-benches with
+# allocs/op) and records them as BENCH_$(PR).json via cmd/benchjson.
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json
 
 # Print the paper's figures as tables (repeats=3; raise for tighter curves).
 figures:

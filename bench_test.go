@@ -55,6 +55,7 @@ func runFigureBench(b *testing.B, fig func(ExperimentConfig) (*FigureResult, err
 // OL_GD vs Greedy_GD vs Pri_GD in a 100-station GT-ITM network.
 // Expected shape: OL_GD lowest after its learning phase, Greedy_GD highest.
 func BenchmarkFig3AvgDelay(b *testing.B) {
+	b.ReportAllocs()
 	runFigureBench(b, Figure3, 0, "_delay_ms")
 }
 
@@ -62,6 +63,7 @@ func BenchmarkFig3AvgDelay(b *testing.B) {
 // Expected shape: OL_GD costs more than the baselines but stays in tens of
 // milliseconds per slot.
 func BenchmarkFig3RunningTime(b *testing.B) {
+	b.ReportAllocs()
 	runFigureBench(b, Figure3, 1, "_runtime_ms")
 }
 
@@ -69,12 +71,14 @@ func BenchmarkFig3RunningTime(b *testing.B) {
 // (50-200 stations). Expected shape: OL_GD's margin grows with size; at the
 // smallest size the solution space is small and the gap narrows.
 func BenchmarkFig4AvgDelay(b *testing.B) {
+	b.ReportAllocs()
 	runFigureBench(b, Figure4, 0, "_delay_ms")
 }
 
 // BenchmarkFig4RunningTime regenerates Fig. 4(b): running time vs size.
 // Expected shape: OL_GD grows fastest but remains tractable at 200 stations.
 func BenchmarkFig4RunningTime(b *testing.B) {
+	b.ReportAllocs()
 	runFigureBench(b, Figure4, 1, "_runtime_ms")
 }
 
@@ -82,23 +86,27 @@ func BenchmarkFig4RunningTime(b *testing.B) {
 // topology AS1755 with access latency. Expected shape: same ordering as
 // Fig. 3 with an ENLARGED gap (bottleneck links hurt the static baselines).
 func BenchmarkFig5AvgDelay(b *testing.B) {
+	b.ReportAllocs()
 	runFigureBench(b, Figure5, 0, "_delay_ms")
 }
 
 // BenchmarkFig5RunningTime regenerates Fig. 5(b).
 func BenchmarkFig5RunningTime(b *testing.B) {
+	b.ReportAllocs()
 	runFigureBench(b, Figure5, 1, "_runtime_ms")
 }
 
 // BenchmarkFig6AvgDelay regenerates Fig. 6(a): OL_GAN vs OL_Reg with hidden
 // demands. Expected shape: OL_GAN below OL_Reg after its warmup/training.
 func BenchmarkFig6AvgDelay(b *testing.B) {
+	b.ReportAllocs()
 	runFigureBench(b, Figure6, 0, "_delay_ms")
 }
 
 // BenchmarkFig6RunningTime regenerates Fig. 6(b). Expected shape: OL_GAN's
 // running time is a multiple of OL_Reg's (paper reports ~400%).
 func BenchmarkFig6RunningTime(b *testing.B) {
+	b.ReportAllocs()
 	var res *FigureResult
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -118,12 +126,14 @@ func BenchmarkFig6RunningTime(b *testing.B) {
 
 // BenchmarkFig7AS1755 regenerates Fig. 7(a): OL_GAN vs OL_Reg on AS1755.
 func BenchmarkFig7AS1755(b *testing.B) {
+	b.ReportAllocs()
 	runFigureBench(b, Figure7, 0, "_delay_ms")
 }
 
 // BenchmarkFig7Scaling regenerates Fig. 7(b): OL_GAN vs OL_Reg with network
 // size varied 50-300. Expected shape: OL_GAN below OL_Reg throughout.
 func BenchmarkFig7Scaling(b *testing.B) {
+	b.ReportAllocs()
 	runFigureBench(b, Figure7, 2, "_delay_ms")
 }
 
@@ -134,6 +144,7 @@ func BenchmarkFig7Scaling(b *testing.B) {
 // scenario's actual delay extrema; reports both so the bound can be checked
 // (empirical << bound, and regret grows sublinearly).
 func BenchmarkRegretBound(b *testing.B) {
+	b.ReportAllocs()
 	var empirical, bound, firstHalf, secondHalf float64
 	for i := 0; i < b.N; i++ {
 		s, err := NewScenario(WithStations(50), WithSeed(3))
@@ -176,6 +187,7 @@ func BenchmarkRegretBound(b *testing.B) {
 // BenchmarkGammaSweep ablates the candidate-set threshold gamma of Eq. (9):
 // reports converged average delay per gamma value.
 func BenchmarkGammaSweep(b *testing.B) {
+	b.ReportAllocs()
 	gammas := []float64{0.01, 0.1, 0.3, 0.6}
 	results := make([]float64, len(gammas))
 	for i := 0; i < b.N; i++ {
@@ -212,6 +224,7 @@ func BenchmarkGammaSweep(b *testing.B) {
 // with the constant 1/4 of Algorithm 1's pseudo-code, plus the UCB and
 // Thompson index variants.
 func BenchmarkScheduleAblation(b *testing.B) {
+	b.ReportAllocs()
 	names := []string{"OL_GD", "OL_GD/const-eps", "OL_GD/UCB", "OL_GD/Thompson", "OL_GD/ls"}
 	delays := make([]float64, len(names))
 	for i := 0; i < b.N; i++ {
@@ -237,6 +250,7 @@ func BenchmarkScheduleAblation(b *testing.B) {
 // when the baselines passively update their delay estimates (ablation of the
 // "static historical information" assumption).
 func BenchmarkAdaptiveBaselines(b *testing.B) {
+	b.ReportAllocs()
 	names := []string{"OL_GD", "Greedy_GD", "Greedy_GD/adaptive", "Pri_GD", "Pri_GD/adaptive"}
 	delays := make([]float64, len(names))
 	for i := 0; i < b.N; i++ {
@@ -261,6 +275,7 @@ func BenchmarkAdaptiveBaselines(b *testing.B) {
 // BenchmarkOracleGap reports the converged OL_GD delay relative to the
 // clairvoyant oracle — the price of learning.
 func BenchmarkOracleGap(b *testing.B) {
+	b.ReportAllocs()
 	var ol, oracle float64
 	for i := 0; i < b.N; i++ {
 		s, err := NewScenario(WithStations(50), WithSeed(7))
@@ -293,6 +308,7 @@ func BenchmarkOracleGap(b *testing.B) {
 // instances surviving between slots are free — quantifying how much of the
 // average delay is re-instantiation.
 func BenchmarkWarmCacheAblation(b *testing.B) {
+	b.ReportAllocs()
 	var cold, warm float64
 	for i := 0; i < b.N; i++ {
 		for _, mode := range []bool{false, true} {
@@ -323,6 +339,7 @@ func BenchmarkWarmCacheAblation(b *testing.B) {
 // learning policy degrades versus the static baselines (robustness
 // extension beyond the paper's evaluation).
 func BenchmarkFailureRobustness(b *testing.B) {
+	b.ReportAllocs()
 	names := []string{"OL_GD", "Greedy_GD", "Pri_GD"}
 	delays := make([]float64, len(names))
 	var failedSlots int
@@ -350,6 +367,7 @@ func BenchmarkFailureRobustness(b *testing.B) {
 // calendar-driven (scheduled flash crowds with occupancy foreshadowing) —
 // the regime where hidden-feature prediction has its largest edge.
 func BenchmarkScheduledEvents(b *testing.B) {
+	b.ReportAllocs()
 	var gan, reg float64
 	for i := 0; i < b.N; i++ {
 		s, err := NewScenario(WithStations(60), WithSeed(10),
@@ -385,6 +403,7 @@ func BenchmarkScheduledEvents(b *testing.B) {
 // nanoseconds, i.e. far below 2% of even the cheapest policy's per-slot
 // decide time (microseconds).
 func BenchmarkObserverNopHooks(b *testing.B) {
+	b.ReportAllocs()
 	var o *obs.Observer // disabled: the default state
 	for i := 0; i < b.N; i++ {
 		o.Inc("sim.slots")
@@ -404,8 +423,10 @@ func BenchmarkObserverNopHooks(b *testing.B) {
 // the disabled path was verified bit-identical to the pre-instrumentation
 // build — so the enabled/disabled delta is the full observability price.
 func BenchmarkObserverSimOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for _, mode := range []string{"disabled", "enabled"} {
 		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
 			var avg float64
 			for i := 0; i < b.N; i++ {
 				var o *Observer

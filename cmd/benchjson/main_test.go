@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/mecsim/l4e
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSolveLPFlow/fresh-8         	     100	    926904 ns/op	  224501 B/op	     430 allocs/op
+BenchmarkSolveLPFlow/workspace-8     	     100	    723785 ns/op	     152 B/op	       1 allocs/op
+BenchmarkFig3AvgDelay-8              	       1	1234567890 ns/op	        24.50 Greedy_GD_delay_ms	        18.25 OL_GD_delay_ms	 5000000 B/op	   60000 allocs/op
+--- SKIP: BenchmarkSkipped
+PASS
+ok  	github.com/mecsim/l4e	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Errorf("header = %q/%q, want linux/amd64", rep.Goos, rep.Goarch)
+	}
+	if rep.Pkg != "github.com/mecsim/l4e" {
+		t.Errorf("pkg = %q", rep.Pkg)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	fresh := rep.Benchmarks[0]
+	if fresh.Name != "SolveLPFlow/fresh" {
+		t.Errorf("name = %q, want SolveLPFlow/fresh (GOMAXPROCS suffix stripped)", fresh.Name)
+	}
+	if fresh.Iterations != 100 || fresh.NsPerOp != 926904 {
+		t.Errorf("fresh = %+v", fresh)
+	}
+	if fresh.BytesPerOp == nil || *fresh.BytesPerOp != 224501 {
+		t.Errorf("fresh bytes/op = %v", fresh.BytesPerOp)
+	}
+	if fresh.AllocsPerOp == nil || *fresh.AllocsPerOp != 430 {
+		t.Errorf("fresh allocs/op = %v", fresh.AllocsPerOp)
+	}
+
+	ws := rep.Benchmarks[1]
+	if ws.AllocsPerOp == nil || *ws.AllocsPerOp != 1 {
+		t.Errorf("workspace allocs/op = %v", ws.AllocsPerOp)
+	}
+
+	fig := rep.Benchmarks[2]
+	if fig.Name != "Fig3AvgDelay" {
+		t.Errorf("name = %q", fig.Name)
+	}
+	if got := fig.Metrics["OL_GD_delay_ms"]; got != 18.25 {
+		t.Errorf("OL_GD_delay_ms = %v, want 18.25", got)
+	}
+	if got := fig.Metrics["Greedy_GD_delay_ms"]; got != 24.5 {
+		t.Errorf("Greedy_GD_delay_ms = %v, want 24.5", got)
+	}
+	if fig.AllocsPerOp == nil || *fig.AllocsPerOp != 60000 {
+		t.Errorf("fig allocs/op = %v", fig.AllocsPerOp)
+	}
+}
+
+func TestParseBadValue(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX 10 abc ns/op\n")); err == nil {
+		t.Error("malformed value accepted")
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	rep, err := parse(strings.NewReader("PASS\nok x 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from empty input", len(rep.Benchmarks))
+	}
+}

@@ -45,6 +45,7 @@ type IndexOLGD struct {
 	rng      *rand.Rand
 	n        int
 	observer *obs.Observer
+	ws       *caching.Workspace
 }
 
 // SetObserver implements ObserverSetter.
@@ -63,6 +64,7 @@ func NewIndexOLGD(kind IndexKind, numStations int, optimisticPrior float64, seed
 		arms: bandit.NewArms(numStations, optimisticPrior),
 		rng:  rand.New(rand.NewSource(seed)),
 		n:    numStations,
+		ws:   caching.NewWorkspace(),
 	}, nil
 }
 
@@ -93,7 +95,7 @@ func (x *IndexOLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 		}
 	}
 	p.UnitDelayMS = theta
-	frac, err := p.SolveLP()
+	frac, err := p.SolveLPWS(x.ws)
 	if err != nil {
 		return nil, err
 	}

@@ -281,10 +281,11 @@ func (p *PriGD) Observe(obs *Observation) { p.observe(obs) }
 type Oracle struct {
 	trueDelays []float64
 	observer   *obs.Observer
+	ws         *caching.Workspace
 }
 
 // NewOracle builds the reference policy.
-func NewOracle() *Oracle { return &Oracle{} }
+func NewOracle() *Oracle { return &Oracle{ws: caching.NewWorkspace()} }
 
 // SetObserver implements ObserverSetter (the oracle reports only its solver
 // effort; it has no learning state worth tracing).
@@ -305,7 +306,7 @@ func (o *Oracle) Decide(view *SlotView) (*caching.Assignment, error) {
 		return nil, fmt.Errorf("algorithms: Oracle has %d true delays for %d stations", len(o.trueDelays), p.NumStations)
 	}
 	p.UnitDelayMS = append([]float64(nil), o.trueDelays...)
-	frac, err := p.SolveLP()
+	frac, err := p.SolveLPWS(o.ws)
 	if err != nil {
 		return nil, err
 	}

@@ -38,6 +38,11 @@ type OLGDConfig struct {
 	// Name optionally overrides the display name (default "OL_GD"),
 	// used by ablation variants.
 	Name string
+	// FreshSolves disables the per-policy solver workspace, allocating all
+	// solver state anew each slot. The reference ablation for the paired-seed
+	// determinism test: results are bit-identical either way, only the
+	// allocation profile differs.
+	FreshSolves bool
 }
 
 // DefaultOLGDConfig uses the decaying epsilon_t = c/t schedule with c = 1/4.
@@ -66,6 +71,9 @@ type OLGD struct {
 	rng      *rand.Rand
 	name     string
 	observer *obs.Observer
+	// ws carries solver state (graph/tableau/scratch) across slots; nil when
+	// cfg.FreshSolves asks for the allocate-per-slot reference behaviour.
+	ws *caching.Workspace
 }
 
 // NewOLGD builds the policy.
@@ -92,12 +100,16 @@ func NewOLGD(cfg OLGDConfig) (*OLGD, error) {
 	if name == "" {
 		name = "OL_GD"
 	}
-	return &OLGD{
+	o := &OLGD{
 		cfg:  cfg,
 		arms: arms,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		name: name,
-	}, nil
+	}
+	if !cfg.FreshSolves {
+		o.ws = caching.NewWorkspace()
+	}
+	return o, nil
 }
 
 // Name implements Policy.
@@ -120,7 +132,7 @@ func (o *OLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 	// Line 3-4: relax the ILP with theta = current estimates, solve, and
 	// extract candidate sets.
 	p.UnitDelayMS = o.arms.Means()
-	frac, err := p.SolveLP()
+	frac, err := p.SolveLPWS(o.ws)
 	if err != nil {
 		return nil, fmt.Errorf("algorithms: OLGD slot %d: %w", view.T, err)
 	}

@@ -102,6 +102,17 @@ func recordSolve(o *obs.Observer, stats caching.SolveStats) {
 	if stats.Phase1Iterations > 0 {
 		o.ObserveWith("lp.phase1_iterations", SolverCountBuckets, float64(stats.Phase1Iterations))
 	}
+	// Workspace economics: in-place rewrites vs rebuilds of the lowered
+	// instance, and flow solves where carried potentials replaced the
+	// Bellman-Ford pass.
+	if stats.WorkspaceReused {
+		o.Inc("lp.workspace_reuses")
+	} else {
+		o.Inc("lp.workspace_builds")
+	}
+	if stats.WarmStarted {
+		o.Inc("flow.warm_starts")
+	}
 }
 
 // distinctStations returns the sorted set of stations used by an assignment —

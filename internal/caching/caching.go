@@ -137,6 +137,13 @@ type SolveStats struct {
 	// Variables and Constraints describe the lowered instance size.
 	Variables   int
 	Constraints int
+	// WorkspaceReused reports whether the solve rewrote a cached problem or
+	// graph in place (same shape as the previous solve on this workspace)
+	// instead of rebuilding it.
+	WorkspaceReused bool
+	// WarmStarted reports whether carried node potentials replaced the
+	// Bellman-Ford initialisation (flow backend only; see flow.MinCostFlowWS).
+	WarmStarted bool
 }
 
 // Fractional is a (possibly fractional) solution to the LP relaxation.
@@ -173,105 +180,235 @@ func (a *Assignment) Instances(p *Problem) map[[2]int]bool {
 // small instances stay on the exact path in per-slot use.
 const _exactVarLimit = 200
 
+// Workspace carries solver state across per-slot solves so the hot decide
+// path stops allocating: the lowered LP problem and simplex tableau (exact
+// backend), the flow graph, its edge handles, and the Dijkstra scratch (flow
+// backend), plus the X/Y result matrices. When consecutive solves share a
+// shape — same request count, stations, and (for the exact path) per-request
+// service pattern — the lowered instance is rewritten in place instead of
+// rebuilt, reported via SolveStats.WorkspaceReused.
+//
+// A Workspace is not safe for concurrent use, and the Fractional returned by
+// the *WS solvers aliases workspace memory: it is valid only until the next
+// solve on the same workspace.
+type Workspace struct {
+	// Flow backend state.
+	flowWS  *flow.Workspace
+	graph   *flow.Graph
+	graphL  int
+	graphN  int
+	srcIDs  []int // src -> request edge handle per request
+	asgIDs  []int // request -> station edge handles, flattened l*N+i
+	sinkIDs []int // station -> sink edge handle per station
+
+	// Exact (simplex) backend state.
+	lpWS       *lp.Workspace
+	lpProb     *lp.Problem
+	lpL        int
+	lpN        int
+	lpK        int
+	lpServices []int // per-request service pattern at build time
+
+	// Result matrices, reused across solves.
+	xRows [][]float64
+	xBack []float64
+	yRows [][]float64
+	yBack []float64
+}
+
+// NewWorkspace returns an empty workspace; state builds up on first solve.
+func NewWorkspace() *Workspace {
+	return &Workspace{flowWS: flow.NewWorkspace(), lpWS: lp.NewWorkspace()}
+}
+
+// matrix returns a rows x cols matrix carved out of one zeroed backing slice,
+// reusing the workspace buffers when large enough.
+func matrix(rows [][]float64, back []float64, r, c int) ([][]float64, []float64) {
+	if cap(back) < r*c {
+		back = make([]float64, r*c)
+	} else {
+		back = back[:r*c]
+		for i := range back {
+			back[i] = 0
+		}
+	}
+	if cap(rows) < r {
+		rows = make([][]float64, r)
+	} else {
+		rows = rows[:r]
+	}
+	for i := 0; i < r; i++ {
+		rows[i] = back[i*c : (i+1)*c]
+	}
+	return rows, back
+}
+
+// result prepares the workspace-backed X/Y matrices for a solve.
+func (ws *Workspace) result(L, N, K int) *Fractional {
+	ws.xRows, ws.xBack = matrix(ws.xRows, ws.xBack, L, N)
+	ws.yRows, ws.yBack = matrix(ws.yRows, ws.yBack, K, N)
+	return &Fractional{X: ws.xRows, Y: ws.yRows}
+}
+
 // SolveLP solves the LP relaxation, dispatching on instance size.
 func (p *Problem) SolveLP() (*Fractional, error) {
+	return p.SolveLPWS(nil)
+}
+
+// SolveLPWS is SolveLP with a reusable workspace (nil allocates a throwaway
+// one, matching SolveLP exactly). Workspace reuse changes where the solver's
+// buffers live, never the arithmetic: results are bit-identical to the
+// fresh-allocation path.
+func (p *Problem) SolveLPWS(ws *Workspace) (*Fractional, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if len(p.Requests)*p.NumStations <= _exactVarLimit {
-		return p.SolveLPExact()
+		return p.SolveLPExactWS(ws)
 	}
-	return p.SolveLPFlow()
+	return p.SolveLPFlowWS(ws)
 }
 
 // SolveLPExact lowers the relaxation of ILP (3)-(7) to internal/lp and lifts
 // the solution back. Intended for small instances and as the oracle against
 // which SolveLPFlow is validated.
 func (p *Problem) SolveLPExact() (*Fractional, error) {
+	return p.SolveLPExactWS(nil)
+}
+
+// SolveLPExactWS is SolveLPExact with a reusable workspace. When the instance
+// shape matches the previous solve on ws (same L, N, K and per-request
+// service pattern), only the objective costs and the capacity rows of the
+// cached lp.Problem are rewritten in place; otherwise the problem is rebuilt.
+func (p *Problem) SolveLPExactWS(ws *Workspace) (*Fractional, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	L, N, K := len(p.Requests), p.NumStations, p.NumServices
-	prob := lp.NewProblem()
 	invR := 1.0 / float64(L)
+	// Variable layout: x_li at l*N+i, y_ki at L*N + k*N + i.
+	xIdx := func(l, i int) int { return l*N + i }
+	yIdx := func(k, i int) int { return L*N + k*N + i }
 
-	xIdx := make([][]int, L)
-	for l := 0; l < L; l++ {
-		xIdx[l] = make([]int, N)
-		for i := 0; i < N; i++ {
-			cost := invR * p.AssignCost(l, i)
-			xIdx[l][i] = prob.AddBoundedVariable(cost, 1, fmt.Sprintf("x_%d_%d", l, i))
-		}
-	}
-	yIdx := make([][]int, K)
-	for k := 0; k < K; k++ {
-		yIdx[k] = make([]int, N)
-		for i := 0; i < N; i++ {
-			yIdx[k][i] = prob.AddBoundedVariable(invR*p.InstDelayMS[i][k], 1, fmt.Sprintf("y_%d_%d", k, i))
-		}
-	}
-
-	// (4) each request fully assigned.
-	for l := 0; l < L; l++ {
-		cols := make([]int, N)
-		coefs := make([]float64, N)
-		for i := 0; i < N; i++ {
-			cols[i] = xIdx[l][i]
-			coefs[i] = 1
-		}
-		if err := prob.AddConstraint(cols, coefs, lp.EQ, 1); err != nil {
-			return nil, err
-		}
-	}
-	// (5) station capacities.
-	for i := 0; i < N; i++ {
-		cols := make([]int, L)
-		coefs := make([]float64, L)
+	reused := ws.lpProb != nil && ws.lpL == L && ws.lpN == N && ws.lpK == K
+	if reused {
 		for l := 0; l < L; l++ {
-			cols[l] = xIdx[l][i]
-			coefs[l] = p.Requests[l].Volume * p.CUnit
-		}
-		if err := prob.AddConstraint(cols, coefs, lp.LE, p.CapacityMHz[i]); err != nil {
-			return nil, err
-		}
-	}
-	// (6) y_ki >= x_li.
-	for l := 0; l < L; l++ {
-		k := p.Requests[l].Service
-		for i := 0; i < N; i++ {
-			if err := prob.AddConstraint(
-				[]int{yIdx[k][i], xIdx[l][i]}, []float64{1, -1}, lp.GE, 0); err != nil {
-				return nil, err
+			if ws.lpServices[l] != p.Requests[l].Service {
+				reused = false
+				break
 			}
 		}
 	}
 
-	sol, err := prob.Solve()
+	var prob *lp.Problem
+	if reused {
+		// Same structure: rewrite costs and the capacity rows in place.
+		prob = ws.lpProb
+		for l := 0; l < L; l++ {
+			for i := 0; i < N; i++ {
+				if err := prob.SetCost(xIdx(l, i), invR*p.AssignCost(l, i)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for k := 0; k < K; k++ {
+			for i := 0; i < N; i++ {
+				if err := prob.SetCost(yIdx(k, i), invR*p.InstDelayMS[i][k]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// (5) station capacities are rows [L, L+N): the coefficients carry
+		// the slot's request volumes, the RHS its capacity.
+		for i := 0; i < N; i++ {
+			coefs := prob.ConstraintCoefs(L + i)
+			for l := 0; l < L; l++ {
+				coefs[l] = p.Requests[l].Volume * p.CUnit
+			}
+			if err := prob.SetConstraintRHS(L+i, p.CapacityMHz[i]); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		prob = lp.NewProblem()
+		for l := 0; l < L; l++ {
+			for i := 0; i < N; i++ {
+				cost := invR * p.AssignCost(l, i)
+				prob.AddBoundedVariable(cost, 1, fmt.Sprintf("x_%d_%d", l, i))
+			}
+		}
+		for k := 0; k < K; k++ {
+			for i := 0; i < N; i++ {
+				prob.AddBoundedVariable(invR*p.InstDelayMS[i][k], 1, fmt.Sprintf("y_%d_%d", k, i))
+			}
+		}
+
+		cols := make([]int, L+N)
+		coefs := make([]float64, L+N)
+		// (4) each request fully assigned.
+		for l := 0; l < L; l++ {
+			for i := 0; i < N; i++ {
+				cols[i] = xIdx(l, i)
+				coefs[i] = 1
+			}
+			if err := prob.AddConstraint(cols[:N], coefs[:N], lp.EQ, 1); err != nil {
+				return nil, err
+			}
+		}
+		// (5) station capacities.
+		for i := 0; i < N; i++ {
+			for l := 0; l < L; l++ {
+				cols[l] = xIdx(l, i)
+				coefs[l] = p.Requests[l].Volume * p.CUnit
+			}
+			if err := prob.AddConstraint(cols[:L], coefs[:L], lp.LE, p.CapacityMHz[i]); err != nil {
+				return nil, err
+			}
+		}
+		// (6) y_ki >= x_li.
+		for l := 0; l < L; l++ {
+			k := p.Requests[l].Service
+			for i := 0; i < N; i++ {
+				if err := prob.AddConstraint(
+					[]int{yIdx(k, i), xIdx(l, i)}, []float64{1, -1}, lp.GE, 0); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		ws.lpProb = prob
+		ws.lpL, ws.lpN, ws.lpK = L, N, K
+		ws.lpServices = growIDs(ws.lpServices, L)
+		for l := 0; l < L; l++ {
+			ws.lpServices[l] = p.Requests[l].Service
+		}
+	}
+
+	sol, err := prob.SolveWS(ws.lpWS)
 	if err != nil {
 		return nil, fmt.Errorf("caching: LP relaxation: %w", err)
 	}
-	frac := &Fractional{
-		X:         make([][]float64, L),
-		Y:         make([][]float64, K),
-		Objective: sol.Objective,
-		Stats: SolveStats{
-			Solver:           SolverSimplex,
-			Iterations:       sol.Iterations,
-			Phase1Iterations: sol.Phase1Iterations,
-			Variables:        prob.NumVariables(),
-			Constraints:      prob.NumConstraints(),
-		},
+	frac := ws.result(L, N, K)
+	frac.Objective = sol.Objective
+	frac.Stats = SolveStats{
+		Solver:           SolverSimplex,
+		Iterations:       sol.Iterations,
+		Phase1Iterations: sol.Phase1Iterations,
+		Variables:        prob.NumVariables(),
+		Constraints:      prob.NumConstraints(),
+		WorkspaceReused:  reused,
 	}
 	for l := 0; l < L; l++ {
-		frac.X[l] = make([]float64, N)
 		for i := 0; i < N; i++ {
-			frac.X[l][i] = sol.X[xIdx[l][i]]
+			frac.X[l][i] = sol.X[xIdx(l, i)]
 		}
 	}
 	for k := 0; k < K; k++ {
-		frac.Y[k] = make([]float64, N)
 		for i := 0; i < N; i++ {
-			frac.Y[k][i] = sol.X[yIdx[k][i]]
+			frac.Y[k][i] = sol.X[yIdx(k, i)]
 		}
 	}
 	return frac, nil
@@ -285,81 +422,133 @@ func (p *Problem) SolveLPExact() (*Fractional, error) {
 // Algorithm 1 consumes (candidate sets + probabilities), and tests verify
 // they track the exact LP closely on overlapping sizes.
 func (p *Problem) SolveLPFlow() (*Fractional, error) {
+	return p.SolveLPFlowWS(nil)
+}
+
+// SolveLPFlowWS is SolveLPFlow with a reusable workspace. The graph topology
+// depends only on (L, N), so when consecutive solves match, every edge is
+// rewritten in place via flow.Graph.SetEdge — no node or adjacency rebuild —
+// and the Dijkstra scratch comes from the embedded flow.Workspace.
+func (p *Problem) SolveLPFlowWS(ws *Workspace) (*Fractional, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	L, N, K := len(p.Requests), p.NumStations, p.NumServices
 
-	g := flow.NewGraph(2 + L + N)
 	src := 0
 	sink := 1 + L + N
 	reqNode := func(l int) int { return 1 + l }
 	bsNode := func(i int) int { return 1 + L + i }
 
-	type edgeRef struct{ l, i, id int }
-	edges := make([]edgeRef, 0, L*N)
+	reused := ws.graph != nil && ws.graphL == L && ws.graphN == N
+	g := ws.graph
 	totalSupply := 0.0
-	for l := 0; l < L; l++ {
-		supply := p.Requests[l].Volume * p.CUnit
-		totalSupply += supply
-		if _, err := g.AddEdge(src, reqNode(l), supply, 0); err != nil {
-			return nil, err
+	if reused {
+		// Same topology: rewrite capacities and costs on the recorded edge
+		// handles (SetEdge also zeroes the carried flow).
+		for l := 0; l < L; l++ {
+			supply := p.Requests[l].Volume * p.CUnit
+			totalSupply += supply
+			if err := g.SetEdge(ws.srcIDs[l], supply, 0); err != nil {
+				return nil, err
+			}
+			k := p.Requests[l].Service
+			for i := 0; i < N; i++ {
+				// Cost per compute unit so a full assignment costs
+				// AssignCost + amortised instantiation.
+				perUnit := (p.AssignCost(l, i) + p.InstDelayMS[i][k]) / supply
+				if err := g.SetEdge(ws.asgIDs[l*N+i], supply, perUnit); err != nil {
+					return nil, err
+				}
+			}
 		}
-		k := p.Requests[l].Service
 		for i := 0; i < N; i++ {
-			// Cost per compute unit so a full assignment costs
-			// AssignCost + amortised instantiation.
-			perUnit := (p.AssignCost(l, i) + p.InstDelayMS[i][k]) / supply
-			id, err := g.AddEdge(reqNode(l), bsNode(i), supply, perUnit)
+			if err := g.SetEdge(ws.sinkIDs[i], p.CapacityMHz[i], 0); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if g == nil {
+			g = flow.NewGraph(2 + L + N)
+			ws.graph = g
+		} else {
+			g.Reset(2 + L + N)
+		}
+		ws.srcIDs = growIDs(ws.srcIDs, L)
+		ws.asgIDs = growIDs(ws.asgIDs, L*N)
+		ws.sinkIDs = growIDs(ws.sinkIDs, N)
+		for l := 0; l < L; l++ {
+			supply := p.Requests[l].Volume * p.CUnit
+			totalSupply += supply
+			id, err := g.AddEdge(src, reqNode(l), supply, 0)
 			if err != nil {
 				return nil, err
 			}
-			edges = append(edges, edgeRef{l: l, i: i, id: id})
+			ws.srcIDs[l] = id
+			k := p.Requests[l].Service
+			for i := 0; i < N; i++ {
+				// Cost per compute unit so a full assignment costs
+				// AssignCost + amortised instantiation.
+				perUnit := (p.AssignCost(l, i) + p.InstDelayMS[i][k]) / supply
+				id, err := g.AddEdge(reqNode(l), bsNode(i), supply, perUnit)
+				if err != nil {
+					return nil, err
+				}
+				ws.asgIDs[l*N+i] = id
+			}
 		}
-	}
-	for i := 0; i < N; i++ {
-		if _, err := g.AddEdge(bsNode(i), sink, p.CapacityMHz[i], 0); err != nil {
-			return nil, err
+		for i := 0; i < N; i++ {
+			id, err := g.AddEdge(bsNode(i), sink, p.CapacityMHz[i], 0)
+			if err != nil {
+				return nil, err
+			}
+			ws.sinkIDs[i] = id
 		}
+		ws.graphL, ws.graphN = L, N
 	}
 
-	flowRes, err := g.MinCostFlow(src, sink, totalSupply)
+	flowRes, err := g.MinCostFlowWS(src, sink, totalSupply, ws.flowWS)
 	if err != nil {
 		return nil, fmt.Errorf("caching: flow relaxation (capacity %v < demand %v?): %w",
 			sum(p.CapacityMHz), totalSupply, err)
 	}
 
-	frac := &Fractional{
-		X: make([][]float64, L),
-		Y: make([][]float64, K),
-		Stats: SolveStats{
-			Solver:      SolverFlow,
-			Iterations:  flowRes.Augmentations,
-			Variables:   len(edges),
-			Constraints: L + N,
-		},
+	frac := ws.result(L, N, K)
+	frac.Stats = SolveStats{
+		Solver:          SolverFlow,
+		Iterations:      flowRes.Augmentations,
+		Variables:       L * N,
+		Constraints:     L + N,
+		WorkspaceReused: reused,
+		WarmStarted:     flowRes.WarmStarted,
 	}
 	for l := 0; l < L; l++ {
-		frac.X[l] = make([]float64, N)
-	}
-	for k := 0; k < K; k++ {
-		frac.Y[k] = make([]float64, N)
-	}
-	for _, e := range edges {
-		supply := p.Requests[e.l].Volume * p.CUnit
-		x := g.Flow(e.id) / supply
-		if x < 1e-12 {
-			continue
-		}
-		frac.X[e.l][e.i] = x
-		k := p.Requests[e.l].Service
-		if x > frac.Y[k][e.i] {
-			frac.Y[k][e.i] = x
+		supply := p.Requests[l].Volume * p.CUnit
+		k := p.Requests[l].Service
+		for i := 0; i < N; i++ {
+			x := g.Flow(ws.asgIDs[l*N+i]) / supply
+			if x < 1e-12 {
+				continue
+			}
+			frac.X[l][i] = x
+			if x > frac.Y[k][i] {
+				frac.Y[k][i] = x
+			}
 		}
 	}
 	// Recompute the objective in LP terms (y = max x, not amortised).
 	frac.Objective = p.fracObjective(frac)
 	return frac, nil
+}
+
+func growIDs(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 func (p *Problem) fracObjective(f *Fractional) float64 {

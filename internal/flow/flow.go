@@ -6,7 +6,6 @@
 package flow
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -35,6 +34,31 @@ func NewGraph(n int) *Graph {
 // NumNodes reports the number of nodes.
 func (g *Graph) NumNodes() int { return g.n }
 
+// NumEdges reports the number of forward edges added so far.
+func (g *Graph) NumEdges() int { return len(g.edges) / 2 }
+
+// Reset empties the graph and resizes it to n nodes, keeping the edge and
+// adjacency storage for reuse. Edge handles from before the Reset are invalid.
+func (g *Graph) Reset(n int) {
+	g.edges = g.edges[:0]
+	if n <= cap(g.head) {
+		g.head = g.head[:n]
+		for i := range g.head {
+			g.head[i] = g.head[i][:0]
+		}
+	} else {
+		old := len(g.head)
+		g.head = g.head[:cap(g.head)]
+		for i := 0; i < old; i++ {
+			g.head[i] = g.head[i][:0]
+		}
+		for len(g.head) < n {
+			g.head = append(g.head, nil)
+		}
+	}
+	g.n = n
+}
+
 // AddEdge adds a directed edge from -> to with the given capacity and
 // per-unit cost, returning an edge handle usable with Flow.
 func (g *Graph) AddEdge(from, to int, capacity, cost float64) (int, error) {
@@ -52,6 +76,32 @@ func (g *Graph) AddEdge(from, to int, capacity, cost float64) (int, error) {
 	return id, nil
 }
 
+// SetEdge rewrites the capacity and cost of an existing edge handle in place,
+// zeroing any flow it carried. Endpoints are unchanged — this is the per-slot
+// fast path when only costs and capacities move between solves.
+func (g *Graph) SetEdge(id int, capacity, cost float64) error {
+	if id < 0 || id >= len(g.edges) || id%2 != 0 {
+		return fmt.Errorf("flow: invalid edge handle %d", id)
+	}
+	if capacity < 0 || math.IsNaN(capacity) || math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return fmt.Errorf("flow: invalid capacity %v or cost %v", capacity, cost)
+	}
+	g.edges[id].cap = capacity
+	g.edges[id].cost = cost
+	g.edges[id].flow = 0
+	g.edges[id^1].cap = 0
+	g.edges[id^1].cost = -cost
+	g.edges[id^1].flow = 0
+	return nil
+}
+
+// ZeroFlows clears the flow on every edge so the graph can be re-solved.
+func (g *Graph) ZeroFlows() {
+	for i := range g.edges {
+		g.edges[i].flow = 0
+	}
+}
+
 // Flow returns the flow currently carried by edge handle id.
 func (g *Graph) Flow(id int) float64 { return g.edges[id].flow }
 
@@ -65,6 +115,9 @@ type Result struct {
 	// UsedBellmanFord reports whether negative edge costs forced the initial
 	// Bellman-Ford potential pass (the slow path).
 	UsedBellmanFord bool
+	// WarmStarted reports whether potentials carried in the Workspace from a
+	// previous solve replaced the Bellman-Ford pass.
+	WarmStarted bool
 }
 
 // ErrDisconnected is returned by MinCostFlow when the requested flow value
@@ -73,25 +126,94 @@ var ErrDisconnected = errors.New("flow: requested flow not routable")
 
 const _eps = 1e-9
 
-// priority queue for Dijkstra.
+// pqItem is one entry in the Dijkstra priority queue.
 type pqItem struct {
 	node int
 	dist float64
 }
 
+// pq is a slice-backed binary min-heap on dist. It reproduces the exact sift
+// order of container/heap (including equal-key tie-breaking) without the
+// interface{} boxing, so Push/Pop allocate nothing once the backing array has
+// grown.
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	*q = old[:n-1]
-	return item
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	// Sift up, as container/heap.Push -> up(len-1).
+	h := *q
+	j := len(h) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !(h[j].dist < h[parent].dist) {
+			break
+		}
+		h[j], h[parent] = h[parent], h[j]
+		j = parent
+	}
 }
+
+func (q *pq) pop() pqItem {
+	// As container/heap.Pop: swap root with last, sift down over [0, n), then
+	// shrink.
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		j := left
+		if right := left + 1; right < n && h[right].dist < h[left].dist {
+			j = right
+		}
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	*q = h[:n]
+	return it
+}
+
+// Workspace holds the per-solve scratch state for MinCostFlowWS — the
+// distance, parent, and potential arrays plus the priority queue backing — so
+// repeated solves over same-sized graphs allocate nothing. It also carries the
+// node potentials out of one solve into the next: on graphs with negative raw
+// costs they can replace the Bellman-Ford initialisation (see MinCostFlowWS).
+// A Workspace is not safe for concurrent use.
+type Workspace struct {
+	dist     []float64
+	prevEdge []int
+	pot      []float64
+	heap     pq
+
+	warmPot  []float64
+	haveWarm bool
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// ensure sizes the scratch arrays for an n-node graph.
+func (ws *Workspace) ensure(n int) {
+	if cap(ws.dist) < n {
+		ws.dist = make([]float64, n)
+		ws.prevEdge = make([]int, n)
+		ws.pot = make([]float64, n)
+	}
+	ws.dist = ws.dist[:n]
+	ws.prevEdge = ws.prevEdge[:n]
+	ws.pot = ws.pot[:n]
+	ws.heap = ws.heap[:0]
+}
+
+// Reset drops any carried-over potentials (but keeps the buffers).
+func (ws *Workspace) Reset() { ws.haveWarm = false }
 
 // MinCostFlow sends up to want units (use math.Inf(1) for max-flow) from s to
 // t at minimum total cost, augmenting along successive shortest paths in
@@ -99,24 +221,51 @@ func (q *pq) Pop() interface{} {
 // cannot be fully routed, it returns what was routed along with
 // ErrDisconnected.
 func (g *Graph) MinCostFlow(s, t int, want float64) (Result, error) {
+	return g.MinCostFlowWS(s, t, want, NewWorkspace())
+}
+
+// MinCostFlowWS is MinCostFlow with caller-owned scratch state. Reusing the
+// same Workspace across solves makes the solver allocation-free.
+//
+// Warm starts: potentials always begin at zero, exactly as in a fresh solve,
+// so on graphs with non-negative costs the result is bit-identical to
+// MinCostFlow. Only when negative raw costs would force the Bellman-Ford
+// pass does the workspace offer its carried potentials instead — and they are
+// adopted only if they are verifiably feasible over the current residual
+// graph (every residual edge has non-negative reduced cost). Infeasible or
+// absent carried potentials fall back to Bellman-Ford, reported via
+// Result.UsedBellmanFord as before.
+func (g *Graph) MinCostFlowWS(s, t int, want float64, ws *Workspace) (Result, error) {
 	if s < 0 || s >= g.n || t < 0 || t >= g.n {
 		return Result{}, fmt.Errorf("flow: source %d or sink %d out of range", s, t)
 	}
 	if s == t {
 		return Result{}, fmt.Errorf("flow: source equals sink (%d)", s)
 	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.ensure(g.n)
 
-	pot := make([]float64, g.n)
+	pot := ws.pot
+	for i := range pot {
+		pot[i] = 0
+	}
 	var res Result
 	if g.hasNegativeCost() {
-		if err := g.bellmanFord(s, pot); err != nil {
-			return Result{}, err
+		if ws.haveWarm && len(ws.warmPot) == g.n && g.potentialsFeasible(ws.warmPot) {
+			copy(pot, ws.warmPot)
+			res.WarmStarted = true
+		} else {
+			if err := g.bellmanFord(s, pot); err != nil {
+				return Result{}, err
+			}
+			res.UsedBellmanFord = true
 		}
-		res.UsedBellmanFord = true
 	}
 
-	dist := make([]float64, g.n)
-	prevEdge := make([]int, g.n)
+	dist := ws.dist
+	prevEdge := ws.prevEdge
 
 	for res.Flow < want-_eps {
 		// Dijkstra with reduced costs.
@@ -125,9 +274,10 @@ func (g *Graph) MinCostFlow(s, t int, want float64) (Result, error) {
 			prevEdge[i] = -1
 		}
 		dist[s] = 0
-		q := pq{{node: s, dist: 0}}
+		q := ws.heap[:0]
+		q.push(pqItem{node: s, dist: 0})
 		for len(q) > 0 {
-			it := heap.Pop(&q).(pqItem)
+			it := q.pop()
 			if it.dist > dist[it.node]+_eps {
 				continue
 			}
@@ -141,10 +291,11 @@ func (g *Graph) MinCostFlow(s, t int, want float64) (Result, error) {
 				if nd < dist[e.to]-_eps {
 					dist[e.to] = nd
 					prevEdge[e.to] = id
-					heap.Push(&q, pqItem{node: e.to, dist: nd})
+					q.push(pqItem{node: e.to, dist: nd})
 				}
 			}
 		}
+		ws.heap = q[:0]
 		if math.IsInf(dist[t], 1) {
 			break
 		}
@@ -173,10 +324,36 @@ func (g *Graph) MinCostFlow(s, t int, want float64) (Result, error) {
 		res.Augmentations++
 	}
 
+	// Carry the final potentials into the next solve.
+	if cap(ws.warmPot) < g.n {
+		ws.warmPot = make([]float64, g.n)
+	}
+	ws.warmPot = ws.warmPot[:g.n]
+	copy(ws.warmPot, pot)
+	ws.haveWarm = true
+
 	if !math.IsInf(want, 1) && res.Flow < want-1e-6 {
 		return res, ErrDisconnected
 	}
 	return res, nil
+}
+
+// potentialsFeasible reports whether pot yields non-negative reduced costs on
+// every residual edge — the condition for Dijkstra to be exact without a
+// Bellman-Ford pass.
+func (g *Graph) potentialsFeasible(pot []float64) bool {
+	for u := 0; u < g.n; u++ {
+		for _, id := range g.head[u] {
+			e := &g.edges[id]
+			if e.cap-e.flow <= _eps {
+				continue
+			}
+			if e.cost+pot[u]-pot[e.to] < -_eps {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func (g *Graph) hasNegativeCost() bool {

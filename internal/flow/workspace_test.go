@@ -1,0 +1,189 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildTransportation wires a bipartite request/station transportation graph
+// with the given per-edge costs, recording the forward-edge handles.
+func buildTransportation(t testing.TB, g *Graph, nReq, nBS int, costs []float64) (src, sink int, ids []int) {
+	t.Helper()
+	src, sink = 0, 1+nReq+nBS
+	ci := 0
+	for r := 0; r < nReq; r++ {
+		id, err := g.AddEdge(src, 1+r, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		for s := 0; s < nBS; s++ {
+			id, err := g.AddEdge(1+r, 1+nReq+s, math.Inf(1), costs[ci])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+			ci++
+		}
+	}
+	for s := 0; s < nBS; s++ {
+		id, err := g.AddEdge(1+nReq+s, sink, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return src, sink, ids
+}
+
+// TestWorkspaceReuseBitIdentical drives one reusable graph+workspace through a
+// sequence of cost perturbations (the per-slot hot path) and checks every
+// solve is bit-identical to a from-scratch graph solved without a workspace.
+func TestWorkspaceReuseBitIdentical(t *testing.T) {
+	const nReq, nBS, rounds = 6, 4, 8
+	rng := rand.New(rand.NewSource(7))
+	costs := make([]float64, nReq*nBS)
+
+	ws := NewWorkspace()
+	reused := NewGraph(0)
+	var ids []int
+	var src, sink int
+	for round := 0; round < rounds; round++ {
+		for i := range costs {
+			costs[i] = rng.Float64() * 10
+		}
+		// Reference: fresh graph, fresh everything.
+		fg := NewGraph(2 + nReq + nBS)
+		fs, ft, _ := buildTransportation(t, fg, nReq, nBS, costs)
+		want, err := fg.MinCostFlow(fs, ft, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Hot path: rebuild once, then rewrite edges in place.
+		if round == 0 {
+			reused.Reset(2 + nReq + nBS)
+			src, sink, ids = buildTransportation(t, reused, nReq, nBS, costs)
+		} else {
+			k := 0
+			for r := 0; r < nReq; r++ {
+				if err := reused.SetEdge(ids[k], 1, 0); err != nil {
+					t.Fatal(err)
+				}
+				k++
+				for s := 0; s < nBS; s++ {
+					if err := reused.SetEdge(ids[k], math.Inf(1), costs[r*nBS+s]); err != nil {
+						t.Fatal(err)
+					}
+					k++
+				}
+			}
+			for s := 0; s < nBS; s++ {
+				if err := reused.SetEdge(ids[k], 3, 0); err != nil {
+					t.Fatal(err)
+				}
+				k++
+			}
+		}
+		got, err := reused.MinCostFlowWS(src, sink, math.Inf(1), ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Flow != want.Flow || got.Cost != want.Cost {
+			t.Fatalf("round %d: workspace solve = flow %x cost %x, fresh = flow %x cost %x",
+				round, got.Flow, got.Cost, want.Flow, want.Cost)
+		}
+		if got.WarmStarted || got.UsedBellmanFord {
+			t.Fatalf("round %d: non-negative-cost graph took warm/BF path: %+v", round, got)
+		}
+	}
+}
+
+// TestWarmStartAdoptedOnNegativeCosts re-solves a negative-cost graph through
+// a shared workspace: the second solve must adopt the carried potentials
+// (skipping Bellman-Ford) and still produce the same answer.
+func TestWarmStartAdoptedOnNegativeCosts(t *testing.T) {
+	g := NewGraph(3)
+	e0 := mustEdge(t, g, 0, 1, 3, -2)
+	e1 := mustEdge(t, g, 1, 2, 3, 1)
+
+	ws := NewWorkspace()
+	first, err := g.MinCostFlowWS(0, 2, 2, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.UsedBellmanFord || first.WarmStarted {
+		t.Fatalf("first solve = %+v, want Bellman-Ford init", first)
+	}
+	// Rewrite the same edges (zeroes flows) and solve again.
+	if err := g.SetEdge(e0, 3, -2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetEdge(e1, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	second, err := g.MinCostFlowWS(0, 2, 2, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.WarmStarted || second.UsedBellmanFord {
+		t.Fatalf("second solve = %+v, want warm start without Bellman-Ford", second)
+	}
+	if second.Flow != first.Flow || second.Cost != first.Cost {
+		t.Fatalf("warm solve = flow %x cost %x, first = flow %x cost %x",
+			second.Flow, second.Cost, first.Flow, first.Cost)
+	}
+	// After Reset the workspace must fall back to Bellman-Ford again.
+	ws.Reset()
+	if err := g.SetEdge(e0, 3, -2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetEdge(e1, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	third, err := g.MinCostFlowWS(0, 2, 2, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.WarmStarted || !third.UsedBellmanFord {
+		t.Fatalf("post-Reset solve = %+v, want Bellman-Ford init", third)
+	}
+}
+
+// TestSetEdgeErrors exercises the handle validation of the in-place mutators.
+func TestSetEdgeErrors(t *testing.T) {
+	g := NewGraph(2)
+	id := mustEdge(t, g, 0, 1, 1, 1)
+	if err := g.SetEdge(id+1, 1, 1); err == nil {
+		t.Error("odd (twin) handle accepted")
+	}
+	if err := g.SetEdge(-2, 1, 1); err == nil {
+		t.Error("negative handle accepted")
+	}
+	if err := g.SetEdge(g.NumEdges()*2, 1, 1); err == nil {
+		t.Error("out-of-range handle accepted")
+	}
+	if err := g.SetEdge(id, 5, 2); err != nil {
+		t.Errorf("valid handle rejected: %v", err)
+	}
+}
+
+// TestResetReusesStorage checks Reset yields a working empty graph.
+func TestResetReusesStorage(t *testing.T) {
+	g := NewGraph(4)
+	mustEdge(t, g, 0, 1, 1, 1)
+	mustEdge(t, g, 1, 3, 1, 1)
+	g.Reset(3)
+	if g.NumNodes() != 3 || g.NumEdges() != 0 {
+		t.Fatalf("after Reset: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	mustEdge(t, g, 0, 1, 2, 1)
+	mustEdge(t, g, 1, 2, 2, 1)
+	res, err := g.MinCostFlow(0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 2 || res.Cost != 4 {
+		t.Fatalf("after Reset solve = %+v, want flow 2 cost 4", res)
+	}
+}

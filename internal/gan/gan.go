@@ -177,6 +177,30 @@ type InfoRNNGAN struct {
 	history TrainHistory
 	// observer receives per-epoch loss metrics and trace events (nil = off).
 	observer *obs.Observer
+
+	// Pooled scratch for the per-window training hot path. The generator and
+	// discriminator input slabs are separate because gRNN retains its inputs
+	// (as BPTT caches) across the discForward calls that sit between
+	// genForward and genBackward.
+	oneHotBuf []float64
+	featBuf   []float64
+	genIn     nn.SeqBuf
+	discIn    nn.SeqBuf
+	predBuf   []float64
+	rawBuf    []float64
+	genDys    nn.SeqBuf
+	pooledBuf []float64
+	// Single-row headers: pooledRow feeds the head Forwards and is retained
+	// as their cached input, so the Backward arguments need their own rows.
+	pooledRow [][]float64
+	dLogitRow [][]float64
+	dQRow     [][]float64
+	dLogitBuf []float64
+	dPooled   []float64
+	dhsBuf    nn.SeqBuf
+	dVolBuf   []float64
+	fakeBuf   []float64
+	dPredBuf  []float64
 }
 
 // TrainHistory records per-epoch losses for diagnostics.
@@ -237,31 +261,36 @@ func (m *InfoRNNGAN) History() TrainHistory { return m.history }
 // epoch (Event.Slot carries the epoch index). A nil observer disables it.
 func (m *InfoRNNGAN) SetObserver(o *obs.Observer) { m.observer = o }
 
-// oneHot builds the cluster part of the latent code.
+// oneHot builds the cluster part of the latent code. The returned vector is
+// a reused buffer, valid until the next oneHot call (callers copy or consume
+// it before then).
 func (m *InfoRNNGAN) oneHot(code int) []float64 {
-	v := make([]float64, m.cfg.CodeDim)
+	m.oneHotBuf = nn.GrowVec(m.oneHotBuf, m.cfg.CodeDim)
 	if code >= 0 && code < m.cfg.CodeDim {
-		v[code] = 1
+		m.oneHotBuf[code] = 1
 	}
-	return v
+	return m.oneHotBuf
 }
 
-// normFeat scales a raw feature vector by the training feature scale.
+// normFeat scales a raw feature vector by the training feature scale into a
+// reused buffer (valid until the next call).
 func (m *InfoRNNGAN) normFeat(f []float64) []float64 {
-	out := make([]float64, m.cfg.FeatureDim)
+	m.featBuf = nn.GrowVec(m.featBuf, m.cfg.FeatureDim)
 	for i := 0; i < m.cfg.FeatureDim && i < len(f); i++ {
-		out[i] = f[i] / m.featScale[i]
+		m.featBuf[i] = f[i] / m.featScale[i]
 	}
-	return out
+	return m.featBuf
 }
 
 // genInputs assembles generator inputs for a window:
-// [z^t ; onehot(code) ; feat_t ; v_{t-1}].
+// [z^t ; onehot(code) ; feat_t ; v_{t-1}]. The rows live in the generator's
+// input slab, which stays untouched until the next genForward (gRNN caches
+// point into it for BPTT).
 func (m *InfoRNNGAN) genInputs(window []float64, feats [][]float64, code int, noisy bool) [][]float64 {
 	c := m.oneHot(code)
-	xs := make([][]float64, len(window))
+	xs := m.genIn.Get(len(window), m.cfg.NoiseDim+m.cfg.CodeDim+m.cfg.FeatureDim+1)
 	for t := range window {
-		x := make([]float64, m.cfg.NoiseDim+m.cfg.CodeDim+m.cfg.FeatureDim+1)
+		x := xs[t]
 		for i := 0; i < m.cfg.NoiseDim; i++ {
 			if noisy {
 				x[i] = m.rng.NormFloat64() * 0.1
@@ -274,7 +303,6 @@ func (m *InfoRNNGAN) genInputs(window []float64, feats [][]float64, code int, no
 		if t > 0 {
 			x[m.cfg.NoiseDim+m.cfg.CodeDim+m.cfg.FeatureDim] = window[t-1]
 		}
-		xs[t] = x
 	}
 	return xs
 }
@@ -291,8 +319,9 @@ func (m *InfoRNNGAN) genForward(window []float64, feats [][]float64, code int, n
 	if err != nil {
 		return nil, nil, err
 	}
-	pred = make([]float64, len(ys))
-	raw = make([]float64, len(ys))
+	m.predBuf = nn.GrowVec(m.predBuf, len(ys))
+	m.rawBuf = nn.GrowVec(m.rawBuf, len(ys))
+	pred, raw = m.predBuf, m.rawBuf
 	for t, y := range ys {
 		raw[t] = y[0]
 		pred[t] = nn.Softplus(y[0])
@@ -302,9 +331,9 @@ func (m *InfoRNNGAN) genForward(window []float64, feats [][]float64, code int, n
 
 // genBackward pushes d(loss)/d(pred) through the softplus head and BPTT.
 func (m *InfoRNNGAN) genBackward(dPred, raw []float64) error {
-	dys := make([][]float64, len(dPred))
+	dys := m.genDys.Get(len(dPred), 1)
 	for t := range dPred {
-		dys[t] = []float64{dPred[t] * nn.Sigmoid(raw[t])} // softplus' = sigmoid
+		dys[t][0] = dPred[t] * nn.Sigmoid(raw[t]) // softplus' = sigmoid
 	}
 	dhs, err := m.gHead.Backward(dys)
 	if err != nil {
@@ -318,26 +347,30 @@ func (m *InfoRNNGAN) genBackward(dPred, raw []float64) error {
 // returns the real/fake logit and the Q logits.
 func (m *InfoRNNGAN) discForward(window []float64, feats [][]float64, code int) (logit float64, qLogits []float64, err error) {
 	c := m.oneHot(code)
-	xs := make([][]float64, len(window))
+	xs := m.discIn.Get(len(window), 1+m.cfg.CodeDim+m.cfg.FeatureDim)
 	for t, v := range window {
-		x := make([]float64, 1+m.cfg.CodeDim+m.cfg.FeatureDim)
+		x := xs[t]
 		x[0] = v
 		copy(x[1:], c)
 		if m.cfg.FeatureDim > 0 && feats != nil {
 			copy(x[1+m.cfg.CodeDim:], m.normFeat(feats[t]))
 		}
-		xs[t] = x
 	}
 	hs, err := m.dRNN.Forward(xs)
 	if err != nil {
 		return 0, nil, err
 	}
-	pooled := meanPool(hs)
-	dOut, err := m.dHead.Forward([][]float64{pooled})
+	m.pooledBuf = nn.GrowVec(m.pooledBuf, len(hs[0]))
+	meanPoolInto(m.pooledBuf, hs)
+	if m.pooledRow == nil {
+		m.pooledRow = make([][]float64, 1)
+	}
+	m.pooledRow[0] = m.pooledBuf
+	dOut, err := m.dHead.Forward(m.pooledRow)
 	if err != nil {
 		return 0, nil, err
 	}
-	qOut, err := m.qHead.Forward([][]float64{pooled})
+	qOut, err := m.qHead.Forward(m.pooledRow)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -347,8 +380,15 @@ func (m *InfoRNNGAN) discForward(window []float64, feats [][]float64, code int) 
 // discBackward propagates gradients on the D logit and Q logits back through
 // the discriminator, returning d(loss)/d(volume_t) for the input window.
 func (m *InfoRNNGAN) discBackward(dLogit float64, dQ []float64, steps int) ([]float64, error) {
-	dPooled := make([]float64, 2*m.cfg.Hidden)
-	dh, err := m.dHead.Backward([][]float64{{dLogit}})
+	m.dPooled = nn.GrowVec(m.dPooled, 2*m.cfg.Hidden)
+	dPooled := m.dPooled
+	m.dLogitBuf = nn.GrowVec(m.dLogitBuf, 1)
+	m.dLogitBuf[0] = dLogit
+	if m.dLogitRow == nil {
+		m.dLogitRow = make([][]float64, 1)
+	}
+	m.dLogitRow[0] = m.dLogitBuf
+	dh, err := m.dHead.Backward(m.dLogitRow)
 	if err != nil {
 		return nil, err
 	}
@@ -356,7 +396,11 @@ func (m *InfoRNNGAN) discBackward(dLogit float64, dQ []float64, steps int) ([]fl
 		dPooled[i] += dh[0][i]
 	}
 	if dQ != nil {
-		qh, err := m.qHead.Backward([][]float64{dQ})
+		if m.dQRow == nil {
+			m.dQRow = make([][]float64, 1)
+		}
+		m.dQRow[0] = dQ
+		qh, err := m.qHead.Backward(m.dQRow)
 		if err != nil {
 			return nil, err
 		}
@@ -365,28 +409,29 @@ func (m *InfoRNNGAN) discBackward(dLogit float64, dQ []float64, steps int) ([]fl
 		}
 	}
 	// Mean pool spreads gradient evenly across steps.
-	dhs := make([][]float64, steps)
+	dhs := m.dhsBuf.Get(steps, len(dPooled))
 	inv := 1.0 / float64(steps)
 	for t := range dhs {
-		v := make([]float64, len(dPooled))
+		v := dhs[t]
 		for i := range v {
 			v[i] = dPooled[i] * inv
 		}
-		dhs[t] = v
 	}
 	dxs, err := m.dRNN.Backward(dhs)
 	if err != nil {
 		return nil, err
 	}
-	dVol := make([]float64, steps)
+	m.dVolBuf = nn.GrowVec(m.dVolBuf, steps)
+	dVol := m.dVolBuf
 	for t := range dxs {
 		dVol[t] = dxs[t][0]
 	}
 	return dVol, nil
 }
 
-func meanPool(hs [][]float64) []float64 {
-	out := make([]float64, len(hs[0]))
+// meanPoolInto averages the rows of hs into out; out must have len(hs[0])
+// and arrive zeroed (GrowVec guarantees this).
+func meanPoolInto(out []float64, hs [][]float64) {
 	for _, h := range hs {
 		for i, v := range h {
 			out[i] += v
@@ -396,7 +441,6 @@ func meanPool(hs [][]float64) []float64 {
 	for i := range out {
 		out[i] *= inv
 	}
-	return out
 }
 
 // trainingWindow is one pooled (window, features, code) triple.
@@ -478,7 +522,8 @@ func (m *InfoRNNGAN) Train(samples []Sample) error {
 			}
 			d := pred[last] - w.vols[last]
 			total += d * d
-			dPred := make([]float64, len(pred))
+			m.dPredBuf = nn.GrowVec(m.dPredBuf, len(pred))
+			dPred := m.dPredBuf
 			dPred[last] = 2 * d
 			if err := m.genBackward(dPred, raw); err != nil {
 				return err
@@ -513,7 +558,7 @@ func (m *InfoRNNGAN) Train(samples []Sample) error {
 			if err != nil {
 				return err
 			}
-			fake := fakeWindow(w.vols, pred[last])
+			fake := m.fakeWindow(w.vols, pred[last])
 			logitReal, _, err := m.discForward(w.vols, w.feats, w.code)
 			if err != nil {
 				return err
@@ -546,7 +591,7 @@ func (m *InfoRNNGAN) Train(samples []Sample) error {
 			if err != nil {
 				return err
 			}
-			fake = fakeWindow(w.vols, pred[last])
+			fake = m.fakeWindow(w.vols, pred[last])
 			logitFake, qLogits, err = m.discForward(fake, w.feats, w.code)
 			if err != nil {
 				return err
@@ -564,7 +609,8 @@ func (m *InfoRNNGAN) Train(samples []Sample) error {
 			}
 			// Only G's parameters update; clear D's incidental grads.
 			nn.ZeroGrads(m.dRNN, m.dHead, m.qHead)
-			dPred := make([]float64, len(pred))
+			m.dPredBuf = nn.GrowVec(m.dPredBuf, len(pred))
+			dPred := m.dPredBuf
 			// Adversarial gradient reaches G through the final slot, plus a
 			// small MSE anchor that keeps predictions on the data manifold
 			// during adversarial play (prevents drift).
@@ -607,11 +653,13 @@ func scaleVec(g []float64, lambda float64) {
 }
 
 // fakeWindow returns the real window with its final slot replaced by the
-// generator's prediction.
-func fakeWindow(real []float64, predLast float64) []float64 {
-	out := append([]float64(nil), real...)
-	out[len(out)-1] = predLast
-	return out
+// generator's prediction. The result is a reused buffer, valid until the
+// next call.
+func (m *InfoRNNGAN) fakeWindow(real []float64, predLast float64) []float64 {
+	m.fakeBuf = nn.GrowVec(m.fakeBuf, len(real))
+	copy(m.fakeBuf, real)
+	m.fakeBuf[len(real)-1] = predLast
+	return m.fakeBuf
 }
 
 // Predict forecasts the next slot's volume for a request with the given

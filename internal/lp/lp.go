@@ -110,6 +110,42 @@ func (p *Problem) AddConstraint(cols []int, coefs []float64, sense Sense, rhs fl
 	return nil
 }
 
+// SetCost rewrites the objective cost of an existing variable in place — the
+// per-slot fast path when a problem's structure is fixed and only the cost
+// vector moves between solves.
+func (p *Problem) SetCost(j int, cost float64) error {
+	if j < 0 || j >= len(p.costs) {
+		return fmt.Errorf("lp: SetCost on unknown column %d (have %d variables)", j, len(p.costs))
+	}
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return fmt.Errorf("lp: variable %d given non-finite cost %v", j, cost)
+	}
+	p.costs[j] = cost
+	return nil
+}
+
+// SetConstraintRHS rewrites the right-hand side of constraint i in place.
+func (p *Problem) SetConstraintRHS(i int, rhs float64) error {
+	if i < 0 || i >= len(p.constraints) {
+		return fmt.Errorf("lp: SetConstraintRHS on unknown constraint %d (have %d)", i, len(p.constraints))
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: constraint %d given non-finite RHS %v", i, rhs)
+	}
+	p.constraints[i].RHS = rhs
+	return nil
+}
+
+// ConstraintCoefs returns the live coefficient slice of constraint i for
+// in-place rewriting. The column pattern (Cols) stays fixed; callers may only
+// change the values. The slice is invalidated by AddConstraint.
+func (p *Problem) ConstraintCoefs(i int) []float64 {
+	if i < 0 || i >= len(p.constraints) {
+		return nil
+	}
+	return p.constraints[i].Coefs
+}
+
 // Validate checks structural well-formedness of the problem.
 func (p *Problem) Validate() error {
 	for i, con := range p.constraints {
@@ -191,13 +227,34 @@ const (
 	_pivotEps = 1e-11
 )
 
+// Workspace owns the tableau storage (constraint matrix, RHS, reduced-cost
+// and basis arrays) so repeated solves of same-shaped problems reuse one
+// allocation instead of re-making m*width floats per solve. Buffers grow to
+// the largest problem seen and are then reused. A Workspace is not safe for
+// concurrent use, and Solution.X from SolveWS aliases workspace memory —
+// it is valid only until the next SolveWS call on the same workspace.
+type Workspace struct {
+	t tableau
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
 // Solve runs two-phase primal simplex and returns the optimal solution.
 // A nil error implies Status == StatusOptimal.
 func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveWS(nil)
+}
+
+// SolveWS is Solve with caller-owned tableau storage. A nil workspace
+// allocates fresh buffers, matching Solve exactly. The pivot sequence is
+// independent of the workspace (buffers are fully re-initialised per solve),
+// so results are bit-identical either way.
+func (p *Problem) SolveWS(ws *Workspace) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	t, err := newTableau(p)
+	t, err := newTableau(p, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -221,60 +278,83 @@ type tableau struct {
 	nStruct int
 	basis   []int // basis[i] = column basic in row i
 	maxIter int
+	// scratch reused across solves when the tableau lives in a Workspace.
+	rc []float64
+	x  []float64
 }
 
-func newTableau(p *Problem) (*tableau, error) {
-	// Expand variable upper bounds into extra <= rows.
-	cons := make([]Constraint, 0, len(p.constraints)+len(p.costs))
-	cons = append(cons, p.constraints...)
-	for j, u := range p.upperBounds {
+// growFloats returns buf resized to n, reusing its backing array when large
+// enough and zeroing the active region.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func newTableau(p *Problem, ws *Workspace) (*tableau, error) {
+	nStruct := len(p.costs)
+	// Variable upper bounds expand into extra <= rows (each with a slack).
+	nBound := 0
+	for _, u := range p.upperBounds {
 		if !math.IsInf(u, 1) {
-			cons = append(cons, Constraint{Cols: []int{j}, Coefs: []float64{1}, Sense: LE, RHS: u})
+			nBound++
 		}
 	}
-
-	m := len(cons)
-	nStruct := len(p.costs)
+	m := len(p.constraints) + nBound
 
 	// Count slack/surplus columns.
-	nSlack := 0
-	for _, con := range cons {
+	nSlack := nBound
+	for _, con := range p.constraints {
 		if con.Sense != EQ {
 			nSlack++
 		}
 	}
 	n := nStruct + nSlack
 
-	t := &tableau{
-		m:       m,
-		n:       n,
-		nStruct: nStruct,
-		costs:   append([]float64(nil), p.costs...),
-		a:       make([]float64, 0),
-		b:       make([]float64, m),
-		basis:   make([]int, m),
+	var t *tableau
+	if ws != nil {
+		t = &ws.t
+	} else {
+		t = &tableau{}
 	}
+	t.m, t.n, t.nStruct, t.nArt = m, n, nStruct, 0
 
-	// Worst-case one artificial per row.
+	// Worst-case one artificial per row. The matrix rows are built with +=
+	// below, so the active region must start zeroed (growFloats guarantees it).
 	width := n + m
-	t.a = make([]float64, m*width)
+	t.a = growFloats(t.a, m*width)
+	t.b = growFloats(t.b, m)
+	t.basis = growInts(t.basis, m)
+	t.rc = growFloats(t.rc, width)
+	t.costs = growFloats(t.costs, nStruct)
+	copy(t.costs, p.costs)
 
 	slackCol := nStruct
 	artCol := n
-	for i, con := range cons {
+	addRow := func(i int, cols []int, coefs []float64, sense Sense, rhs float64) {
 		row := t.a[i*width : (i+1)*width]
-		rhs := con.RHS
 		sign := 1.0
 		// Normalise to non-negative RHS so artificials start feasible.
 		if rhs < 0 {
 			sign = -1.0
 			rhs = -rhs
 		}
-		for k, c := range con.Cols {
-			row[c] += sign * con.Coefs[k]
+		for k, c := range cols {
+			row[c] += sign * coefs[k]
 		}
 		t.b[i] = rhs
-		sense := con.Sense
 		if sign < 0 {
 			switch sense {
 			case LE:
@@ -301,6 +381,20 @@ func newTableau(p *Problem) (*tableau, error) {
 			t.basis[i] = artCol
 			artCol++
 			t.nArt++
+		}
+	}
+	boundCols := [1]int{}
+	boundCoefs := [1]float64{1}
+	i := 0
+	for _, con := range p.constraints {
+		addRow(i, con.Cols, con.Coefs, con.Sense, con.RHS)
+		i++
+	}
+	for j, u := range p.upperBounds {
+		if !math.IsInf(u, 1) {
+			boundCols[0] = j
+			addRow(i, boundCols[:], boundCoefs[:], LE, u)
+			i++
 		}
 	}
 	// Compact: artificial columns were allocated starting at n; artCol-n used.
@@ -366,7 +460,7 @@ func (t *tableau) reducedCosts(obj func(col int) float64, limit int, out []float
 // [0, limit), until optimal. Uses Dantzig pricing with Bland fallback when
 // degeneracy is detected (no objective progress for a stretch of pivots).
 func (t *tableau) iterate(obj func(col int) float64, limit int) (Status, int, error) {
-	rc := make([]float64, limit)
+	rc := t.rc[:limit]
 	iters := 0
 	stall := 0
 	lastObj := math.Inf(1)
@@ -492,7 +586,8 @@ func (t *tableau) solve() (*Solution, error) {
 		return &Solution{Status: status, Iterations: totalIters}, err
 	}
 
-	x := make([]float64, t.nStruct)
+	t.x = growFloats(t.x, t.nStruct)
+	x := t.x
 	for i := 0; i < t.m; i++ {
 		if t.basis[i] < t.nStruct {
 			x[t.basis[i]] = t.b[i]

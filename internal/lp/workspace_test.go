@@ -1,0 +1,146 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRandomTransport constructs a small transportation-style LP with the
+// given objective costs: minimise sum c_j x_j subject to per-source equality
+// rows and per-destination capacity rows, x_j in [0, 1].
+func buildRandomTransport(t testing.TB, nSrc, nDst int, costs []float64) *Problem {
+	t.Helper()
+	p := NewProblem()
+	for j := 0; j < nSrc*nDst; j++ {
+		p.AddBoundedVariable(costs[j], 1, "")
+	}
+	for s := 0; s < nSrc; s++ {
+		cols := make([]int, nDst)
+		coefs := make([]float64, nDst)
+		for d := 0; d < nDst; d++ {
+			cols[d] = s*nDst + d
+			coefs[d] = 1
+		}
+		if err := p.AddConstraint(cols, coefs, EQ, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for d := 0; d < nDst; d++ {
+		cols := make([]int, nSrc)
+		coefs := make([]float64, nSrc)
+		for s := 0; s < nSrc; s++ {
+			cols[s] = s*nDst + d
+			coefs[s] = 1
+		}
+		if err := p.AddConstraint(cols, coefs, LE, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// TestSolveWSBitIdenticalToSolve drives one Problem + Workspace through a
+// sequence of SetCost/SetConstraintRHS mutations and checks each solve is
+// bit-identical (objective and every x_j) to a freshly built problem solved
+// without a workspace.
+func TestSolveWSBitIdenticalToSolve(t *testing.T) {
+	const nSrc, nDst, rounds = 4, 3, 8
+	rng := rand.New(rand.NewSource(3))
+	costs := make([]float64, nSrc*nDst)
+	for i := range costs {
+		costs[i] = rng.Float64() * 10
+	}
+
+	ws := NewWorkspace()
+	reused := buildRandomTransport(t, nSrc, nDst, costs)
+	for round := 0; round < rounds; round++ {
+		if round > 0 {
+			for j := range costs {
+				costs[j] = rng.Float64() * 10
+				if err := reused.SetCost(j, costs[j]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		fresh := buildRandomTransport(t, nSrc, nDst, costs)
+		want, err := fresh.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := reused.SolveWS(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != want.Status {
+			t.Fatalf("round %d: status %v vs %v", round, got.Status, want.Status)
+		}
+		if got.Objective != want.Objective {
+			t.Fatalf("round %d: objective %x (ws) vs %x (fresh)", round, got.Objective, want.Objective)
+		}
+		for j := range want.X {
+			if got.X[j] != want.X[j] {
+				t.Fatalf("round %d: x[%d] = %x (ws) vs %x (fresh)", round, j, got.X[j], want.X[j])
+			}
+		}
+	}
+}
+
+// TestMutatorErrors exercises the in-place mutation API's validation.
+func TestMutatorErrors(t *testing.T) {
+	p := NewProblem()
+	x := p.AddBoundedVariable(1, 1, "x")
+	if err := p.AddConstraint([]int{x}, []float64{1}, LE, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetCost(-1, 0); err == nil {
+		t.Error("SetCost(-1) accepted")
+	}
+	if err := p.SetCost(1, 0); err == nil {
+		t.Error("SetCost out of range accepted")
+	}
+	if err := p.SetConstraintRHS(1, 0); err == nil {
+		t.Error("SetConstraintRHS out of range accepted")
+	}
+	if err := p.SetCost(x, -5); err != nil {
+		t.Errorf("valid SetCost rejected: %v", err)
+	}
+	if err := p.SetConstraintRHS(0, 3); err != nil {
+		t.Errorf("valid SetConstraintRHS rejected: %v", err)
+	}
+	if got := p.ConstraintCoefs(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("ConstraintCoefs(0) = %v, want [1]", got)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sol.X[x], 1, 1e-9) {
+		t.Errorf("x = %v, want 1 (cost -5 pushes to upper bound)", sol.X[x])
+	}
+}
+
+// TestWorkspaceShapeChange reuses one workspace across problems of different
+// sizes — buffers must regrow without corrupting results.
+func TestWorkspaceShapeChange(t *testing.T) {
+	ws := NewWorkspace()
+	rng := rand.New(rand.NewSource(5))
+	for _, dims := range [][2]int{{2, 2}, {5, 4}, {3, 2}} {
+		costs := make([]float64, dims[0]*dims[1])
+		for i := range costs {
+			costs[i] = rng.Float64() * 10
+		}
+		fresh := buildRandomTransport(t, dims[0], dims[1], costs)
+		want, err := fresh.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused := buildRandomTransport(t, dims[0], dims[1], costs)
+		got, err := reused.SolveWS(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Objective != want.Objective {
+			t.Fatalf("dims %v: objective %x (ws) vs %x (fresh)", dims, got.Objective, want.Objective)
+		}
+	}
+}

@@ -10,6 +10,14 @@
 // slot). Forward passes cache activations; Backward consumes upstream
 // gradients in the same shape, accumulates parameter gradients, and returns
 // input gradients. Parameters are exposed through Params() for optimizers.
+//
+// Buffer lifetime: modules own their activation and gradient scratch and
+// reuse it across calls, so per-step training allocates nothing once the
+// buffers have grown. The sequences returned by a module's Forward are valid
+// until its next Forward, and those returned by Backward until its next
+// Backward — copy anything that must outlive the next call. Forward and
+// Backward use disjoint storage, so a Backward result survives interleaved
+// Forward calls (as the numerical gradient checks rely on).
 package nn
 
 import (
@@ -59,6 +67,47 @@ func newParam(name string, size, fanIn, fanOut int, rng *rand.Rand) *Param {
 	return p
 }
 
+// SeqBuf is a reusable sequence arena: T rows of dim floats carved from one
+// backing slab, regrown only when a larger shape is requested.
+type SeqBuf struct {
+	rows [][]float64
+	back []float64
+}
+
+// Get returns a zeroed T x dim matrix backed by the arena.
+func (s *SeqBuf) Get(T, dim int) [][]float64 {
+	n := T * dim
+	if cap(s.back) < n {
+		s.back = make([]float64, n)
+	} else {
+		s.back = s.back[:n]
+		for i := range s.back {
+			s.back[i] = 0
+		}
+	}
+	if cap(s.rows) < T {
+		s.rows = make([][]float64, T)
+	} else {
+		s.rows = s.rows[:T]
+	}
+	for t := 0; t < T; t++ {
+		s.rows[t] = s.back[t*dim : (t+1)*dim]
+	}
+	return s.rows
+}
+
+// GrowVec returns a zeroed length-n vector, reusing buf's storage.
+func GrowVec(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
 // Sigmoid is the logistic function.
 func Sigmoid(x float64) float64 {
 	if x >= 0 {
@@ -102,6 +151,8 @@ type Dense struct {
 	in, out int
 	w, b    *Param
 	xs      [][]float64 // cached inputs of the last Forward
+	fwdBuf  SeqBuf      // Forward outputs
+	bwdBuf  SeqBuf      // Backward input gradients
 }
 
 // NewDense builds an in -> out affine layer.
@@ -119,12 +170,12 @@ func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 
 // Forward applies the layer to each step of the sequence.
 func (d *Dense) Forward(xs [][]float64) ([][]float64, error) {
-	ys := make([][]float64, len(xs))
+	ys := d.fwdBuf.Get(len(xs), d.out)
 	for t, x := range xs {
 		if len(x) != d.in {
 			return nil, fmt.Errorf("nn: dense input %d has size %d, want %d", t, len(x), d.in)
 		}
-		y := make([]float64, d.out)
+		y := ys[t]
 		for o := 0; o < d.out; o++ {
 			s := d.b.W[o]
 			row := d.w.W[o*d.in : (o+1)*d.in]
@@ -133,7 +184,6 @@ func (d *Dense) Forward(xs [][]float64) ([][]float64, error) {
 			}
 			y[o] = s
 		}
-		ys[t] = y
 	}
 	d.xs = xs
 	return ys, nil
@@ -145,13 +195,13 @@ func (d *Dense) Backward(dys [][]float64) ([][]float64, error) {
 	if len(dys) != len(d.xs) {
 		return nil, fmt.Errorf("nn: dense backward got %d steps, forward had %d", len(dys), len(d.xs))
 	}
-	dxs := make([][]float64, len(dys))
+	dxs := d.bwdBuf.Get(len(dys), d.in)
 	for t, dy := range dys {
 		if len(dy) != d.out {
 			return nil, fmt.Errorf("nn: dense upstream grad %d has size %d, want %d", t, len(dy), d.out)
 		}
 		x := d.xs[t]
-		dx := make([]float64, d.in)
+		dx := dxs[t]
 		for o := 0; o < d.out; o++ {
 			g := dy[o]
 			if g == 0 {
@@ -165,7 +215,6 @@ func (d *Dense) Backward(dys [][]float64) ([][]float64, error) {
 				dx[i] += g * row[i]
 			}
 		}
-		dxs[t] = dx
 	}
 	return dxs, nil
 }
@@ -187,6 +236,22 @@ type LSTM struct {
 	wh         *Param // 4H x H
 	b          *Param // 4H
 	caches     []lstmCache
+
+	// Forward scratch: one 7H row per step holds the gate activations and
+	// states (i f o g c h tanhC), plus the zero initial state, the
+	// pre-activation accumulator, and the returned hidden-state row headers.
+	fwdBuf SeqBuf
+	hc0    []float64
+	pre    []float64
+	hsOut  [][]float64
+
+	// Backward scratch: input gradients plus per-step work vectors. dhPrev/
+	// dcPrev ping-pong between the A and B halves so the gradients flowing
+	// into step t-1 never overwrite the ones being read at step t.
+	bwdBuf   SeqBuf
+	dh, dPre []float64
+	dhA, dhB []float64
+	dcA, dcB []float64
 }
 
 // NewLSTM builds an LSTM with the given input and hidden sizes. The forget
@@ -211,18 +276,29 @@ func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }
 // HiddenSize returns H.
 func (l *LSTM) HiddenSize() int { return l.hidden }
 
-// Forward runs the sequence and returns hidden states h_1..h_T.
+// Forward runs the sequence and returns hidden states h_1..h_T. The returned
+// rows alias module-owned storage and are valid until the next Forward.
 func (l *LSTM) Forward(xs [][]float64) ([][]float64, error) {
 	H := l.hidden
-	l.caches = make([]lstmCache, 0, len(xs))
-	h := make([]float64, H)
-	c := make([]float64, H)
-	hs := make([][]float64, len(xs))
+	T := len(xs)
+	slab := l.fwdBuf.Get(T, 7*H)
+	if cap(l.caches) < T {
+		l.caches = make([]lstmCache, T)
+	}
+	l.caches = l.caches[:T]
+	if cap(l.hsOut) < T {
+		l.hsOut = make([][]float64, T)
+	}
+	hs := l.hsOut[:T]
+	l.hc0 = GrowVec(l.hc0, 2*H)
+	h := l.hc0[:H]
+	c := l.hc0[H:]
+	l.pre = GrowVec(l.pre, 4*H)
+	pre := l.pre
 	for t, x := range xs {
 		if len(x) != l.in {
 			return nil, fmt.Errorf("nn: lstm input %d has size %d, want %d", t, len(x), l.in)
 		}
-		pre := make([]float64, 4*H)
 		copy(pre, l.b.W)
 		for j := 0; j < 4*H; j++ {
 			rowX := l.wx.W[j*l.in : (j+1)*l.in]
@@ -236,34 +312,31 @@ func (l *LSTM) Forward(xs [][]float64) ([][]float64, error) {
 			}
 			pre[j] = s
 		}
-		cache := lstmCache{
+		row := slab[t]
+		cache := &l.caches[t]
+		*cache = lstmCache{
 			x:     x,
-			i:     make([]float64, H),
-			f:     make([]float64, H),
-			o:     make([]float64, H),
-			g:     make([]float64, H),
-			c:     make([]float64, H),
-			h:     make([]float64, H),
-			tanhC: make([]float64, H),
+			i:     row[0*H : 1*H],
+			f:     row[1*H : 2*H],
+			o:     row[2*H : 3*H],
+			g:     row[3*H : 4*H],
+			c:     row[4*H : 5*H],
+			h:     row[5*H : 6*H],
+			tanhC: row[6*H : 7*H],
 			cPrev: c,
 			hPrev: h,
 		}
-		newC := make([]float64, H)
-		newH := make([]float64, H)
 		for j := 0; j < H; j++ {
 			cache.i[j] = Sigmoid(pre[j])
 			cache.f[j] = Sigmoid(pre[H+j])
 			cache.o[j] = Sigmoid(pre[2*H+j])
 			cache.g[j] = math.Tanh(pre[3*H+j])
-			newC[j] = cache.f[j]*c[j] + cache.i[j]*cache.g[j]
-			cache.tanhC[j] = math.Tanh(newC[j])
-			newH[j] = cache.o[j] * cache.tanhC[j]
+			cache.c[j] = cache.f[j]*c[j] + cache.i[j]*cache.g[j]
+			cache.tanhC[j] = math.Tanh(cache.c[j])
+			cache.h[j] = cache.o[j] * cache.tanhC[j]
 		}
-		copy(cache.c, newC)
-		copy(cache.h, newH)
-		c, h = newC, newH
-		hs[t] = newH
-		l.caches = append(l.caches, cache)
+		c, h = cache.c, cache.h
+		hs[t] = cache.h
 	}
 	return hs, nil
 }
@@ -275,20 +348,25 @@ func (l *LSTM) Backward(dhs [][]float64) ([][]float64, error) {
 		return nil, fmt.Errorf("nn: lstm backward got %d steps, forward had %d", len(dhs), len(l.caches))
 	}
 	H := l.hidden
-	dxs := make([][]float64, len(dhs))
-	dhNext := make([]float64, H)
-	dcNext := make([]float64, H)
+	dxs := l.bwdBuf.Get(len(dhs), l.in)
+	l.dh = GrowVec(l.dh, H)
+	l.dPre = GrowVec(l.dPre, 4*H)
+	l.dhA = GrowVec(l.dhA, H)
+	l.dhB = GrowVec(l.dhB, H)
+	l.dcA = GrowVec(l.dcA, H)
+	l.dcB = GrowVec(l.dcB, H)
+	dh, dPre := l.dh, l.dPre
+	dhNext, dcNext := l.dhA, l.dcA
+	dhPrevBuf, dcPrevBuf := l.dhB, l.dcB
 	for t := len(dhs) - 1; t >= 0; t-- {
 		cache := &l.caches[t]
 		if len(dhs[t]) != H {
 			return nil, fmt.Errorf("nn: lstm upstream grad %d has size %d, want %d", t, len(dhs[t]), H)
 		}
-		dh := make([]float64, H)
 		for j := 0; j < H; j++ {
 			dh[j] = dhs[t][j] + dhNext[j]
 		}
-		dPre := make([]float64, 4*H)
-		dcPrev := make([]float64, H)
+		dcPrev := dcPrevBuf
 		for j := 0; j < H; j++ {
 			do := dh[j] * cache.tanhC[j]
 			dc := dh[j]*cache.o[j]*(1-cache.tanhC[j]*cache.tanhC[j]) + dcNext[j]
@@ -301,8 +379,11 @@ func (l *LSTM) Backward(dhs [][]float64) ([][]float64, error) {
 			dPre[2*H+j] = do * cache.o[j] * (1 - cache.o[j])
 			dPre[3*H+j] = dg * (1 - cache.g[j]*cache.g[j])
 		}
-		dx := make([]float64, l.in)
-		dhPrev := make([]float64, H)
+		dx := dxs[t]
+		dhPrev := dhPrevBuf
+		for j := range dhPrev {
+			dhPrev[j] = 0
+		}
 		for j := 0; j < 4*H; j++ {
 			g := dPre[j]
 			if g == 0 {
@@ -322,9 +403,10 @@ func (l *LSTM) Backward(dhs [][]float64) ([][]float64, error) {
 				dhPrev[i] += g * rowH[i]
 			}
 		}
-		dxs[t] = dx
-		dhNext = dhPrev
-		dcNext = dcPrev
+		// Ping-pong: the gradients just produced become next step's inputs,
+		// and the buffers just consumed are free to be overwritten.
+		dhNext, dhPrevBuf = dhPrev, dhNext
+		dcNext, dcPrevBuf = dcPrev, dcNext
 	}
 	return dxs, nil
 }
@@ -334,6 +416,11 @@ func (l *LSTM) Backward(dhs [][]float64) ([][]float64, error) {
 // bidirectional two-layer loop RNN of the paper's generator/discriminator.
 type BiLSTM struct {
 	fwd, bwd *LSTM
+	// Pooled scratch: reversed-sequence row headers and the concatenated
+	// output / split-gradient slabs.
+	revIn, revHb, revDx   [][]float64
+	outBuf                SeqBuf
+	dhfBuf, dhbBuf, dxBuf SeqBuf
 }
 
 // NewBiLSTM builds a bidirectional LSTM with per-direction hidden size H.
@@ -349,25 +436,25 @@ func (b *BiLSTM) Params() []*Param {
 // OutputSize returns 2H.
 func (b *BiLSTM) OutputSize() int { return 2 * b.fwd.hidden }
 
-// Forward returns per-step concatenations [h_fwd_t ; h_bwd_t].
+// Forward returns per-step concatenations [h_fwd_t ; h_bwd_t]. The returned
+// rows alias module-owned storage and are valid until the next Forward.
 func (b *BiLSTM) Forward(xs [][]float64) ([][]float64, error) {
 	hf, err := b.fwd.Forward(xs)
 	if err != nil {
 		return nil, err
 	}
-	rev := reverse(xs)
-	hbRev, err := b.bwd.Forward(rev)
+	b.revIn = reverseInto(b.revIn, xs)
+	hbRev, err := b.bwd.Forward(b.revIn)
 	if err != nil {
 		return nil, err
 	}
-	hb := reverse(hbRev)
+	b.revHb = reverseInto(b.revHb, hbRev)
+	hb := b.revHb
 	H := b.fwd.hidden
-	out := make([][]float64, len(xs))
+	out := b.outBuf.Get(len(xs), 2*H)
 	for t := range xs {
-		v := make([]float64, 2*H)
-		copy(v[:H], hf[t])
-		copy(v[H:], hb[t])
-		out[t] = v
+		copy(out[t][:H], hf[t])
+		copy(out[t][H:], hb[t])
 	}
 	return out, nil
 }
@@ -376,15 +463,15 @@ func (b *BiLSTM) Forward(xs [][]float64) ([][]float64, error) {
 // the resulting input gradients.
 func (b *BiLSTM) Backward(douts [][]float64) ([][]float64, error) {
 	H := b.fwd.hidden
-	dhf := make([][]float64, len(douts))
-	dhbRev := make([][]float64, len(douts))
 	T := len(douts)
+	dhf := b.dhfBuf.Get(T, H)
+	dhbRev := b.dhbBuf.Get(T, H)
 	for t, d := range douts {
 		if len(d) != 2*H {
 			return nil, fmt.Errorf("nn: bilstm upstream grad %d has size %d, want %d", t, len(d), 2*H)
 		}
-		dhf[t] = append([]float64(nil), d[:H]...)
-		dhbRev[T-1-t] = append([]float64(nil), d[H:]...)
+		copy(dhf[t], d[:H])
+		copy(dhbRev[T-1-t], d[H:])
 	}
 	dxf, err := b.fwd.Backward(dhf)
 	if err != nil {
@@ -394,24 +481,29 @@ func (b *BiLSTM) Backward(douts [][]float64) ([][]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	dxb := reverse(dxbRev)
-	out := make([][]float64, T)
+	b.revDx = reverseInto(b.revDx, dxbRev)
+	dxb := b.revDx
+	out := b.dxBuf.Get(T, b.fwd.in)
 	for t := range out {
-		v := make([]float64, len(dxf[t]))
+		v := out[t]
 		for i := range v {
 			v[i] = dxf[t][i] + dxb[t][i]
 		}
-		out[t] = v
 	}
 	return out, nil
 }
 
-func reverse(xs [][]float64) [][]float64 {
-	out := make([][]float64, len(xs))
-	for i, x := range xs {
-		out[len(xs)-1-i] = x
+// reverseInto fills dst with xs's rows in reverse order, reusing dst's
+// storage (row headers only — the vectors themselves are shared).
+func reverseInto(dst [][]float64, xs [][]float64) [][]float64 {
+	if cap(dst) < len(xs) {
+		dst = make([][]float64, len(xs))
 	}
-	return out
+	dst = dst[:len(xs)]
+	for i, x := range xs {
+		dst[len(xs)-1-i] = x
+	}
+	return dst
 }
 
 var (

@@ -303,6 +303,7 @@ func PolicyNames() []string {
 	return []string{
 		"OL_GD", "Greedy_GD", "Pri_GD", "OL_Reg", "OL_GAN", "Oracle",
 		"OL_GD/UCB", "OL_GD/Thompson", "OL_GD/const-eps", "OL_GD/ls",
+		"OL_GD/fresh-solve",
 		"Greedy_GD/adaptive", "Pri_GD/adaptive",
 	}
 }
@@ -370,6 +371,16 @@ func (s *Scenario) NewPolicy(name string) (Policy, error) {
 			return nil, err
 		}
 		return p, nil
+	case "OL_GD/fresh-solve":
+		// OL_GD without the per-policy solver workspace: every slot allocates
+		// its solver state from scratch. The reference against which the
+		// workspace path's bit-identical determinism is tested.
+		cfg := algorithms.DefaultOLGDConfig(n)
+		cfg.Seed = s.Seed
+		cfg.Priors = priors
+		cfg.Name = "OL_GD/fresh-solve"
+		cfg.FreshSolves = true
+		return algorithms.NewOLGD(cfg)
 	case "Greedy_GD":
 		return algorithms.NewGreedyGD(historicalEstimates(s.Net), false)
 	case "Greedy_GD/adaptive":

@@ -97,7 +97,7 @@ func TestObserverTraceAndMetrics(t *testing.T) {
 	if n := snap.NumSeries(); n < 10 {
 		t.Errorf("snapshot has %d series, want >= 10", n)
 	}
-	for _, name := range []string{"sim.slots", "lp.solves", "bandit.observations"} {
+	for _, name := range []string{"sim.slots", "lp.solves", "bandit.observations", "lp.workspace_reuses"} {
 		if _, ok := snap.Counters[name]; !ok {
 			t.Errorf("missing counter %q (have %v)", name, snap.Counters)
 		}

@@ -1,0 +1,44 @@
+package l4e
+
+import (
+	"testing"
+)
+
+// TestWorkspaceSolvesAreBitIdentical is the paired-seed determinism guard for
+// the allocation-free solver path: "OL_GD" (shared caching.Workspace, in-place
+// tableau/graph reuse) and "OL_GD/fresh-solve" (identical policy configured to
+// allocate from scratch every slot) must produce bit-identical per-slot delays
+// on the same scenario. Workspace reuse is a memory optimisation only — any
+// drift here means the rewrite changed arithmetic.
+func TestWorkspaceSolvesAreBitIdentical(t *testing.T) {
+	o := NewObserver(ObserverOptions{})
+	results, err := obsTestScenario(t, o).Compare("OL_GD", "OL_GD/fresh-solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, fresh := results[0], results[1]
+	if len(reused.PerSlotDelayMS) == 0 || len(reused.PerSlotDelayMS) != len(fresh.PerSlotDelayMS) {
+		t.Fatalf("slot counts: %d (workspace) vs %d (fresh)",
+			len(reused.PerSlotDelayMS), len(fresh.PerSlotDelayMS))
+	}
+	for tt, d := range reused.PerSlotDelayMS {
+		if fresh.PerSlotDelayMS[tt] != d {
+			t.Fatalf("slot %d: %x (workspace) != %x (fresh-solve)", tt, d, fresh.PerSlotDelayMS[tt])
+		}
+	}
+	if reused.AvgDelayMS != fresh.AvgDelayMS {
+		t.Fatalf("average delay: %x (workspace) != %x (fresh-solve)",
+			reused.AvgDelayMS, fresh.AvgDelayMS)
+	}
+
+	// The reuse counters must show the two paths actually differed: the
+	// workspace policy rewrites its cached problem after the first slot, the
+	// fresh policy rebuilds every slot.
+	snap := o.Snapshot()
+	if snap.Counters["lp.workspace_reuses"] == 0 {
+		t.Error("no lp.workspace_reuses recorded — workspace path never exercised")
+	}
+	if snap.Counters["lp.workspace_builds"] == 0 {
+		t.Error("no lp.workspace_builds recorded")
+	}
+}
