@@ -4,7 +4,7 @@ GO ?= go
 # PR number stamped into the benchmark-trajectory file (BENCH_$(PR).json).
 PR ?= 2
 
-.PHONY: all build test test-short vet race bench bench-json figures examples clean
+.PHONY: all build test test-short vet race bench bench-json figures examples fuzz chaos clean
 
 all: build vet test
 
@@ -21,11 +21,24 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector pass over the concurrency-sensitive paths: the simulator
-# integration tests, the lock-free observability registry, and the shared
-# observer under parallel experiment repeats.
+# integration tests, the lock-free observability registry, the fault
+# injectors, the shared observer under parallel experiment repeats, and the
+# parallel chaos matrix.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/obs/
-	$(GO) test -race -run Observer .
+	$(GO) test -race ./internal/sim/ ./internal/obs/ ./internal/faults/
+	$(GO) test -race -run 'Observer|Chaos' .
+
+# Chaos suite: the injector unit tests, the degradation-ladder tests, the
+# sim-level fault integration tests, and the root chaos matrix.
+chaos:
+	$(GO) test ./internal/faults/ ./internal/caching/ -run 'Ladder|Greedy|Shed'
+	$(GO) test ./internal/sim/ -run 'Blackout|Bandit|ZeroRate|FaultSchedule|DemandSurge|Failure'
+	$(GO) test -race -run 'Chaos|SolveBudget' -v .
+
+# Fuzz the trace-CSV parser (the only parser that ingests external files).
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -fuzz=FuzzReadTraceCSV -fuzztime=$(FUZZTIME) ./internal/workload/
 
 # Full benchmark suite: regenerates every paper figure plus the ablations.
 bench:

@@ -10,6 +10,12 @@
 //	mecsim -compare OL_GD,Greedy_GD,Pri_GD -stations 100 -slots 100
 //	mecsim -compare OL_GAN,OL_Reg -hidden -topology as1755
 //
+// Chaos engineering (see README "Robustness & fault injection"): inject
+// composable faults and watch policies degrade instead of abort:
+//
+//	mecsim -compare OL_GD,Greedy_GD -chaos "regional:0.05:3,feedback:0.1"
+//	mecsim -chaos "blackout:20:2,spike:0.1:4" -solve-budget 200
+//
 // Observability (see README "Observability"): per-slot JSONL trace spans,
 // a named-metrics snapshot, a machine-readable run summary, and pprof:
 //
@@ -58,6 +64,10 @@ func run(args []string) error {
 		regret      = fs.Bool("regret", false, "track regret against a shadow oracle (-compare only)")
 		exportTrace = fs.String("export-trace", "", "write the scenario's demand trace to a CSV file and exit")
 		list        = fs.Bool("list", false, "list known policies and figures")
+
+		chaos       = fs.String("chaos", "", `fault-injection spec for -compare, e.g. "regional:0.05:3,feedback:0.1" (see README)`)
+		chaosSeed   = fs.Int64("chaos-seed", 0, "seed for chaos injectors (0 = derive from -seed)")
+		solveBudget = fs.Int("solve-budget", 0, "simplex iteration cap per slot solve (0 = unlimited); exhausted solves degrade to fallbacks")
 
 		tracePath   = fs.String("trace", "", "write per-slot JSONL trace spans to this file")
 		metricsOut  = fs.String("metrics-out", "", "write the final metrics snapshot (JSON) to this file")
@@ -129,11 +139,24 @@ func run(args []string) error {
 			Repeats: *repeats, Slots: *slots, Seed: *seed, SmoothWindow: *smooth,
 			Parallel: *parallel, Observer: observer,
 		}, *csv)
-	case *compare != "":
-		results, runErr = runCompare(tableOut, *compare, *stations, *topo, *slots, *seed, *hidden, *regret, observer)
+	case *compare != "" || *chaos != "":
+		names := *compare
+		if names == "" {
+			// -chaos alone stress-tests the quickstart comparison.
+			names = "OL_GD,Greedy_GD,Pri_GD"
+		}
+		results, runErr = runCompare(tableOut, names, compareOpts{
+			stations: *stations, topo: *topo, slots: *slots, seed: *seed,
+			hidden: *hidden, regret: *regret, observer: observer,
+			chaos: *chaos, chaosSeed: *chaosSeed, solveBudget: *solveBudget,
+		})
 	case wantObs:
 		// Observability flags alone instrument the quickstart comparison.
-		results, runErr = runCompare(tableOut, "OL_GD,Greedy_GD,Pri_GD", *stations, *topo, *slots, *seed, *hidden, *regret, observer)
+		results, runErr = runCompare(tableOut, "OL_GD,Greedy_GD,Pri_GD", compareOpts{
+			stations: *stations, topo: *topo, slots: *slots, seed: *seed,
+			hidden: *hidden, regret: *regret, observer: observer,
+			solveBudget: *solveBudget,
+		})
 	default:
 		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -fig N, -compare A,B, or -list")
@@ -151,6 +174,7 @@ func run(args []string) error {
 		cfg := summaryConfig{
 			Stations: *stations, Topology: *topo, Slots: *slots, Seed: *seed,
 			DemandsGiven: !*hidden, Regret: *regret, Figure: *fig, Compare: *compare,
+			Chaos: *chaos, ChaosSeed: *chaosSeed, SolveBudget: *solveBudget,
 		}
 		if err := writeSummary(*summaryJSON, cfg, results, observer); err != nil {
 			return err
@@ -174,6 +198,9 @@ type summaryConfig struct {
 	Regret       bool   `json:"regret"`
 	Figure       int    `json:"figure,omitempty"`
 	Compare      string `json:"compare,omitempty"`
+	Chaos        string `json:"chaos,omitempty"`
+	ChaosSeed    int64  `json:"chaos_seed,omitempty"`
+	SolveBudget  int    `json:"solve_budget,omitempty"`
 }
 
 // summaryResult is one policy's outcome in -summary-json.
@@ -183,6 +210,11 @@ type summaryResult struct {
 	TotalRuntimeMS     float64  `json:"total_runtime_ms"`
 	OverloadSlots      int      `json:"overload_slots"`
 	FailedStationSlots int      `json:"failed_station_slots,omitempty"`
+	DegradedSlots      int      `json:"degraded_slots,omitempty"`
+	FallbackSolves     int      `json:"fallback_solves,omitempty"`
+	RepairViolations   int      `json:"repair_violations,omitempty"`
+	DecideFailures     int      `json:"decide_failures,omitempty"`
+	FaultsInjected     int      `json:"faults_injected,omitempty"`
 	CumulativeRegretMS *float64 `json:"cumulative_regret_ms,omitempty"`
 }
 
@@ -212,6 +244,11 @@ func writeSummary(path string, cfg summaryConfig, results []*l4e.Result, observe
 			TotalRuntimeMS:     r.TotalRuntimeMS,
 			OverloadSlots:      r.OverloadSlots,
 			FailedStationSlots: r.FailedStationSlots,
+			DegradedSlots:      r.DegradedSlots,
+			FallbackSolves:     r.FallbackSolves,
+			RepairViolations:   r.RepairViolations,
+			DecideFailures:     r.DecideFailures,
+			FaultsInjected:     r.FaultsInjected,
 		}
 		if r.Regret != nil {
 			c := r.Regret.Cumulative()
@@ -284,21 +321,38 @@ func runFigure(n int, cfg l4e.ExperimentConfig, csv bool) error {
 	return nil
 }
 
-func runCompare(out io.Writer, names string, stations int, topoName string, slots int, seed int64, hidden, regret bool, observer *l4e.Observer) ([]*l4e.Result, error) {
+// compareOpts bundles the scenario knobs for runCompare.
+type compareOpts struct {
+	stations    int
+	topo        string
+	slots       int
+	seed        int64
+	hidden      bool
+	regret      bool
+	observer    *l4e.Observer
+	chaos       string
+	chaosSeed   int64
+	solveBudget int
+}
+
+func runCompare(out io.Writer, names string, o compareOpts) ([]*l4e.Result, error) {
 	opts := []l4e.ScenarioOption{
-		l4e.WithStations(stations),
-		l4e.WithSeed(seed),
-		l4e.WithSlots(slots),
-		l4e.WithDemandsGiven(!hidden),
-		l4e.WithObserver(observer),
+		l4e.WithStations(o.stations),
+		l4e.WithSeed(o.seed),
+		l4e.WithSlots(o.slots),
+		l4e.WithDemandsGiven(!o.hidden),
+		l4e.WithObserver(o.observer),
+		l4e.WithChaos(o.chaos),
+		l4e.WithChaosSeed(o.chaosSeed),
+		l4e.WithSolveBudget(o.solveBudget),
 	}
-	switch topoName {
+	switch o.topo {
 	case "gt-itm":
 		opts = append(opts, l4e.WithTopology(l4e.TopologyGTITM))
 	case "as1755":
 		opts = append(opts, l4e.WithTopology(l4e.TopologyAS1755), l4e.WithAccessLatency(true))
 	default:
-		return nil, fmt.Errorf("unknown topology %q", topoName)
+		return nil, fmt.Errorf("unknown topology %q", o.topo)
 	}
 	s, err := l4e.NewScenario(opts...)
 	if err != nil {
@@ -306,8 +360,12 @@ func runCompare(out io.Writer, names string, stations int, topoName string, slot
 	}
 	fmt.Fprintf(out, "network %s: %d stations; %d requests, %d services, %d slots; demands %s\n",
 		s.Net.Name, s.Net.NumStations(), len(s.Workload.Requests), len(s.Workload.Services),
-		slots, map[bool]string{true: "hidden", false: "given"}[hidden])
-	fmt.Fprintf(out, "%-16s %14s %16s %14s %10s\n", "policy", "avg delay(ms)", "total runtime(ms)", "overload slots", "regret")
+		o.slots, map[bool]string{true: "hidden", false: "given"}[o.hidden])
+	if o.chaos != "" {
+		fmt.Fprintf(out, "chaos: %s\n", o.chaos)
+	}
+	fmt.Fprintf(out, "%-16s %14s %16s %14s %9s %9s %10s\n",
+		"policy", "avg delay(ms)", "total runtime(ms)", "overload slots", "degraded", "fallbacks", "regret")
 	var results []*l4e.Result
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
@@ -316,7 +374,7 @@ func runCompare(out io.Writer, names string, stations int, topoName string, slot
 			return nil, err
 		}
 		var res *l4e.Result
-		if regret {
+		if o.regret {
 			res, err = s.RunWithRegret(p)
 		} else {
 			res, err = s.Run(p)
@@ -329,8 +387,9 @@ func runCompare(out io.Writer, names string, stations int, topoName string, slot
 		if res.Regret != nil {
 			reg = fmt.Sprintf("%.1f", res.Regret.Cumulative())
 		}
-		fmt.Fprintf(out, "%-16s %14.3f %16.1f %14d %10s\n",
-			res.Policy, res.AvgDelayMS, res.TotalRuntimeMS, res.OverloadSlots, reg)
+		fmt.Fprintf(out, "%-16s %14.3f %16.1f %14d %9d %9d %10s\n",
+			res.Policy, res.AvgDelayMS, res.TotalRuntimeMS, res.OverloadSlots,
+			res.DegradedSlots, res.FallbackSolves, reg)
 	}
 	// Significance of the first policy's per-slot delay advantage over each
 	// competitor (Welch's t-test over the paired slot series).

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,10 +15,14 @@ import (
 )
 
 func main() {
+	slots := flag.Int("slots", 0, "time slots (0 = full workload horizon)")
+	flag.Parse()
+
 	scenario, err := l4e.NewScenario(
 		l4e.WithTopology(l4e.TopologyAS1755),
 		l4e.WithSeed(11),
 		l4e.WithAccessLatency(true),
+		l4e.WithSlots(*slots),
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -1,11 +1,16 @@
-// Failures: a robustness extension beyond the paper's evaluation — base
-// stations crash at random (capacity drops to zero for a few slots) and the
-// policies must route around them. The online learner re-plans from its
-// per-station delay estimates every slot, so failures cost it far less than
-// the static baselines, which keep steering demand by stale information.
+// Failures: a robustness extension beyond the paper's evaluation — the
+// network is subjected to composable fault injection (correlated regional
+// outages, bandit feedback loss, a full blackout slot) and the policies must
+// degrade gracefully instead of aborting. The online learner re-plans from
+// its per-station delay estimates every slot, so faults cost it far less
+// than the static baselines, which keep steering demand by stale
+// information. Every horizon completes: infeasible slots fall down the solve
+// ladder (exact LP -> min-cost flow -> greedy shedding) and are reported as
+// degraded rather than fatal.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,11 +18,24 @@ import (
 )
 
 func main() {
-	for _, rate := range []float64{0, 0.02, 0.05} {
+	slots := flag.Int("slots", 60, "time slots per run")
+	flag.Parse()
+
+	scenarios := []struct {
+		label string
+		chaos string
+	}{
+		{"no faults", ""},
+		{"independent outages", "outage:0.05:5"},
+		{"regional outages + feedback loss", "regional:0.05:4,feedback:0.15:0.05"},
+		{"mid-run blackout + delay spikes", fmt.Sprintf("blackout:%d:2,spike:0.1:4", *slots/2)},
+	}
+	for _, sc := range scenarios {
 		scenario, err := l4e.NewScenario(
 			l4e.WithStations(60),
 			l4e.WithSeed(9),
-			l4e.WithFailures(rate, 5),
+			l4e.WithSlots(*slots),
+			l4e.WithChaos(sc.chaos),
 		)
 		if err != nil {
 			log.Fatal(err)
@@ -26,13 +44,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("failure rate %.0f%%/slot (down for 5 slots):\n", rate*100)
+		fmt.Printf("%s:\n", sc.label)
+		if sc.chaos != "" {
+			fmt.Printf("  chaos spec: %q\n", sc.chaos)
+		}
 		for _, r := range results {
-			fmt.Printf("  %-10s avg delay %6.2f ms   (station-slots down: %d)\n",
-				r.Policy, r.AvgDelayMS, r.FailedStationSlots)
+			fmt.Printf("  %-10s avg delay %6.2f ms   station-slots down %3d, degraded slots %2d, fallback solves %2d, shed %2d\n",
+				r.Policy, r.AvgDelayMS, r.FailedStationSlots,
+				r.DegradedSlots, r.FallbackSolves, r.RepairViolations)
 		}
 		fmt.Println()
 	}
-	fmt.Println("OL_GD absorbs failures best: its learned estimates transfer to the")
+	fmt.Println("OL_GD absorbs faults best: its learned estimates transfer to the")
 	fmt.Println("surviving stations, while the baselines' static preferences do not.")
+	fmt.Println("The blackout slot is served by greedy shedding - degraded, never fatal.")
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,12 +16,15 @@ import (
 )
 
 func main() {
+	slots := flag.Int("slots", 100, "time slots per run")
+	flag.Parse()
+
 	// A bursty workload: few clusters (crowds gather at few venues), large
 	// burst volumes, sticky burst regimes.
 	wcfg := l4e.WorkloadConfig{
 		NumRequests:    50,
 		NumServices:    6,
-		Horizon:        100,
+		Horizon:        *slots,
 		NumClusters:    4,
 		BasicDemandMin: 2,
 		BasicDemandMax: 5,
@@ -48,7 +52,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	const warmup = 30 // OL_GAN trains its GAN after this many slots
+	warmup := 30 // OL_GAN trains its GAN after this many slots
+	if warmup >= *slots {
+		warmup = *slots / 2 // short horizons never reach training; report the tail half
+	}
 	fmt.Printf("%-8s %18s %18s %16s\n", "policy", "avg delay (ms)", "post-warmup (ms)", "overload slots")
 	for _, r := range results {
 		tail := r.PerSlotDelayMS[warmup:]

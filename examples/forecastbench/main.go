@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -41,16 +42,23 @@ func genSeries(rng *rand.Rand, n int) (vols []float64, feats [][]float64) {
 }
 
 func main() {
+	quick := flag.Bool("quick", false, "smaller training set and test series (smoke-test mode)")
+	flag.Parse()
+
 	rng := rand.New(rand.NewSource(5))
+	trainSeries, trainLen, testLen := 4, 60, 200
+	if *quick {
+		trainSeries, trainLen, testLen = 2, 30, 40
+	}
 
 	// Small-sample training data: four short series (the paper's regime).
 	var samples, blindSamples []gan.Sample
-	for i := 0; i < 4; i++ {
-		v, f := genSeries(rng, 60)
+	for i := 0; i < trainSeries; i++ {
+		v, f := genSeries(rng, trainLen)
 		samples = append(samples, gan.Sample{Volumes: v, Features: f, Code: 0})
 		blindSamples = append(blindSamples, gan.Sample{Volumes: v, Code: 0})
 	}
-	test, testFeats := genSeries(rng, 200)
+	test, testFeats := genSeries(rng, testLen)
 
 	// Feature-conditioned Info-RNN-GAN.
 	cfgF := gan.DefaultConfig(1)

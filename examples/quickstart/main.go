@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,11 +12,16 @@ import (
 )
 
 func main() {
+	stations := flag.Int("stations", 100, "GT-ITM network size")
+	slots := flag.Int("slots", 0, "time slots (0 = full workload horizon)")
+	flag.Parse()
+
 	// A 100-station GT-ITM network with the default bursty workload
 	// (60 requests, 8 services, cluster-correlated demand bursts).
 	scenario, err := l4e.NewScenario(
-		l4e.WithStations(100),
+		l4e.WithStations(*stations),
 		l4e.WithSeed(42),
+		l4e.WithSlots(*slots),
 	)
 	if err != nil {
 		log.Fatal(err)

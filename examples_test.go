@@ -1,0 +1,38 @@
+package l4e
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// exampleRuns maps each examples/* binary to the arguments that make it
+// finish quickly enough for a smoke test. Every example must build and exit
+// zero; a broken example is a broken README promise.
+var exampleRuns = map[string][]string{
+	"quickstart":    {"-stations", "30", "-slots", "8"},
+	"flashcrowd":    {"-slots", "8"},
+	"as1755":        {"-slots", "6"},
+	"forecastbench": {"-quick"},
+	"failures":      {"-slots", "8"},
+}
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	for name, args := range exampleRuns {
+		name, args := name, args
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", append([]string{"run", "./examples/" + name}, args...)...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s %s: %v\n%s", name, strings.Join(args, " "), err, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Fatalf("examples/%s produced no output", name)
+			}
+		})
+	}
+}

@@ -95,10 +95,11 @@ func (x *IndexOLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 		}
 	}
 	p.UnitDelayMS = theta
-	frac, err := p.SolveLPWS(x.ws)
+	frac, err := p.SolveLPLadderWS(x.ws)
 	if err != nil {
 		return nil, err
 	}
+	view.reportSolve(frac.Stats)
 	recordSolve(x.observer, frac.Stats)
 	a := &caching.Assignment{BS: make([]int, len(p.Requests))}
 	for l := range p.Requests {
@@ -110,9 +111,7 @@ func (x *IndexOLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 		}
 		a.BS[l] = best
 	}
-	if err := repairCapacity(p, a); err != nil {
-		return nil, err
-	}
+	view.reportShed(repairCapacity(p, a))
 	if ob := x.observer; ob.TraceEnabled() {
 		ob.Emit(obs.Event{Slot: view.T, Name: "indexolgd.decide", Policy: x.Name(), Fields: obs.Fields{
 			"index":             x.kind.String(),

@@ -36,8 +36,8 @@ func TestRepairCapacityMovesOverflow(t *testing.T) {
 	p := testProblem()
 	p.CapacityMHz = []float64{25, 500, 500, 500} // station 0 fits one request (20)
 	a := &caching.Assignment{BS: []int{0, 0, 0, 0, 0, 0}}
-	if err := repairCapacity(p, a); err != nil {
-		t.Fatal(err)
+	if shed := repairCapacity(p, a); shed != 0 {
+		t.Fatalf("feasible repair shed %d requests", shed)
 	}
 	load := make([]float64, 4)
 	for l, i := range a.BS {
@@ -50,12 +50,19 @@ func TestRepairCapacityMovesOverflow(t *testing.T) {
 	}
 }
 
-func TestRepairCapacityFailsWhenImpossible(t *testing.T) {
+func TestRepairCapacityShedsWhenImpossible(t *testing.T) {
 	p := testProblem()
 	p.CapacityMHz = []float64{10, 10, 10, 10} // total 40 < demand 120
 	a := &caching.Assignment{BS: []int{0, 0, 0, 0, 0, 0}}
-	if err := repairCapacity(p, a); err == nil {
-		t.Error("impossible repair succeeded")
+	shed := repairCapacity(p, a)
+	if shed == 0 {
+		t.Error("impossible repair reported no shed requests")
+	}
+	// Every request must still land on a valid station.
+	for l, i := range a.BS {
+		if i < 0 || i >= p.NumStations {
+			t.Errorf("request %d left on invalid station %d", l, i)
+		}
 	}
 }
 

@@ -13,11 +13,13 @@ import (
 // greedyAssignOrder assigns requests in the given order, each to the station
 // minimising its estimated marginal cost (processing + access latency +
 // instantiation if the service is not yet cached there) among stations with
-// residual capacity.
-func greedyAssignOrder(p *caching.Problem, order []int) (*caching.Assignment, error) {
+// residual capacity. Requests no station can host within capacity are shed
+// via shedStation — the slot is never failed — and counted in the return.
+func greedyAssignOrder(p *caching.Problem, order []int) (*caching.Assignment, int) {
 	a := &caching.Assignment{BS: make([]int, len(p.Requests))}
 	load := make([]float64, p.NumStations)
 	cached := make(map[[2]int]bool)
+	shed := 0
 	for _, l := range order {
 		demand := p.Requests[l].Volume * p.CUnit
 		k := p.Requests[l].Service
@@ -35,13 +37,14 @@ func greedyAssignOrder(p *caching.Problem, order []int) (*caching.Assignment, er
 			}
 		}
 		if best < 0 {
-			return nil, fmt.Errorf("algorithms: no station can host request %d", l)
+			best = shedStation(p, load, l)
+			shed++
 		}
 		a.BS[l] = best
 		load[best] += demand
 		cached[[2]int{k, best}] = true
 	}
-	return a, nil
+	return a, shed
 }
 
 // estimator is the delay-information model shared by the baselines. The
@@ -184,7 +187,21 @@ func (g *GreedyGD) Decide(view *SlotView) (*caching.Assignment, error) {
 			}
 		}
 		if !progress {
-			return nil, fmt.Errorf("algorithms: Greedy_GD cannot place %d requests (capacity exhausted)", remaining)
+			// Capacity exhausted: shed every unplaced request to the least
+			// loaded surviving station rather than failing the slot; the
+			// overload is priced by Evaluate and reported as a violation.
+			shed := 0
+			for l, bs := range a.BS {
+				if bs >= 0 {
+					continue
+				}
+				tgt := shedStation(p, load, l)
+				a.BS[l] = tgt
+				load[tgt] += p.Requests[l].Volume * p.CUnit
+				shed++
+			}
+			remaining = 0
+			view.reportShed(shed)
 		}
 	}
 	if ob := g.observer; ob.TraceEnabled() {
@@ -252,10 +269,8 @@ func (p *PriGD) Decide(view *SlotView) (*caching.Assignment, error) {
 	sort.SliceStable(order, func(a, b int) bool {
 		return p.priority[prob.Requests[order[a]].ID] > p.priority[prob.Requests[order[b]].ID]
 	})
-	a, err := greedyAssignOrder(prob, order)
-	if err != nil {
-		return nil, err
-	}
+	a, shed := greedyAssignOrder(prob, order)
+	view.reportShed(shed)
 	if ob := p.observer; ob.TraceEnabled() {
 		maxPri := 0
 		for _, r := range prob.Requests {
@@ -306,10 +321,11 @@ func (o *Oracle) Decide(view *SlotView) (*caching.Assignment, error) {
 		return nil, fmt.Errorf("algorithms: Oracle has %d true delays for %d stations", len(o.trueDelays), p.NumStations)
 	}
 	p.UnitDelayMS = append([]float64(nil), o.trueDelays...)
-	frac, err := p.SolveLPWS(o.ws)
+	frac, err := p.SolveLPLadderWS(o.ws)
 	if err != nil {
 		return nil, err
 	}
+	view.reportSolve(frac.Stats)
 	recordSolve(o.observer, frac.Stats)
 	// Deterministic rounding: argmax x*_li per request, then repair.
 	a := &caching.Assignment{BS: make([]int, len(p.Requests))}
@@ -322,9 +338,7 @@ func (o *Oracle) Decide(view *SlotView) (*caching.Assignment, error) {
 		}
 		a.BS[l] = best
 	}
-	if err := repairCapacity(p, a); err != nil {
-		return nil, err
-	}
+	view.reportShed(repairCapacity(p, a))
 	return a, nil
 }
 

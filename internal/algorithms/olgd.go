@@ -132,10 +132,11 @@ func (o *OLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 	// Line 3-4: relax the ILP with theta = current estimates, solve, and
 	// extract candidate sets.
 	p.UnitDelayMS = o.arms.Means()
-	frac, err := p.SolveLPWS(o.ws)
+	frac, err := p.SolveLPLadderWS(o.ws)
 	if err != nil {
 		return nil, fmt.Errorf("algorithms: OLGD slot %d: %w", view.T, err)
 	}
+	view.reportSolve(frac.Stats)
 	recordSolve(o.observer, frac.Stats)
 	candidates := p.Candidates(frac, o.cfg.Gamma)
 
@@ -148,9 +149,7 @@ func (o *OLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 	} else {
 		a = exploreOutsideCandidates(p, candidates, o.rng)
 	}
-	if err := repairCapacity(p, a); err != nil {
-		return nil, err
-	}
+	view.reportShed(repairCapacity(p, a))
 	if exploit && o.cfg.LocalSearch {
 		if _, err := p.LocalSearch(a, 0); err != nil {
 			return nil, err

@@ -19,7 +19,6 @@
 package algorithms
 
 import (
-	"fmt"
 	"math/rand"
 
 	"github.com/mecsim/l4e/internal/caching"
@@ -43,6 +42,47 @@ type SlotView struct {
 	Features [][]float64
 	// Clusters[id] is request id's latent cluster code (full set).
 	Clusters []int
+	// Degrade, when non-nil, is the slot's degradation channel: the simulator
+	// allocates it, the policy records whatever graceful-degradation machinery
+	// it engaged (solver fallbacks, shed requests), and the simulator folds the
+	// report into Result counters instead of aborting the horizon.
+	Degrade *DegradeReport
+}
+
+// DegradeReport is the per-slot record of engaged degradation machinery.
+type DegradeReport struct {
+	// FallbackSolves counts solver-ladder rungs that failed before the slot's
+	// relaxation was solved (see caching.SolveLPLadderWS).
+	FallbackSolves int
+	// IterLimited reports that a failed rung exhausted its pivot budget
+	// (caching.ErrIterLimit) rather than proving infeasibility.
+	IterLimited bool
+	// RepairViolations counts requests that no station could absorb within
+	// capacity and that were shed onto an overloaded station instead.
+	RepairViolations int
+	// Solver is the backend that finally produced the slot's relaxation
+	// (empty for policies that never solve one).
+	Solver caching.SolverKind
+}
+
+// reportSolve folds a solve's ladder statistics into the slot's report.
+func (v *SlotView) reportSolve(stats caching.SolveStats) {
+	if v.Degrade == nil {
+		return
+	}
+	v.Degrade.FallbackSolves += stats.Fallbacks
+	if stats.IterLimited {
+		v.Degrade.IterLimited = true
+	}
+	v.Degrade.Solver = stats.Solver
+}
+
+// reportShed folds shed-request counts into the slot's report.
+func (v *SlotView) reportShed(n int) {
+	if v.Degrade == nil || n == 0 {
+		return
+	}
+	v.Degrade.RepairViolations += n
 }
 
 // Observation is what a policy learns at the END of slot t.
@@ -113,6 +153,9 @@ func recordSolve(o *obs.Observer, stats caching.SolveStats) {
 	if stats.WarmStarted {
 		o.Inc("flow.warm_starts")
 	}
+	if stats.Fallbacks > 0 {
+		o.Add("solve.fallbacks", int64(stats.Fallbacks))
+	}
 }
 
 // distinctStations returns the sorted set of stations used by an assignment —
@@ -140,7 +183,13 @@ func distinctStations(a *caching.Assignment) []int {
 // (largest movers first). The paper's Algorithm 1 samples assignments from
 // the fractional solution and can transiently violate (5); this repair step
 // restores feasibility while staying close to the sampled solution.
-func repairCapacity(p *caching.Problem, a *caching.Assignment) error {
+//
+// When a mover fits nowhere — total demand exceeds total capacity, e.g. under
+// an injected outage — it is shed onto the least relatively loaded station
+// that still has capacity (Evaluate prices the resulting overload) instead of
+// failing the slot. The return counts those unrepairable sheds; 0 means the
+// final assignment is capacity-feasible.
+func repairCapacity(p *caching.Problem, a *caching.Assignment) int {
 	load := make([]float64, p.NumStations)
 	for l, i := range a.BS {
 		load[i] += p.Requests[l].Volume * p.CUnit
@@ -165,6 +214,7 @@ func repairCapacity(p *caching.Problem, a *caching.Assignment) error {
 			}
 		}
 	}
+	shed := 0
 	for _, mv := range movers {
 		cur := a.BS[mv.l]
 		if !over(cur) {
@@ -181,13 +231,45 @@ func repairCapacity(p *caching.Problem, a *caching.Assignment) error {
 			}
 		}
 		if best < 0 {
-			return fmt.Errorf("algorithms: cannot repair capacity for request %d (total demand exceeds capacity?)", mv.l)
+			shed++
+			if tgt := shedStation(p, load, mv.l); tgt != cur {
+				load[cur] -= mv.demand
+				load[tgt] += mv.demand
+				a.BS[mv.l] = tgt
+			}
+			continue
 		}
 		load[cur] -= mv.demand
 		load[best] += mv.demand
 		a.BS[mv.l] = best
 	}
-	return nil
+	return shed
+}
+
+// shedStation picks the least-bad station for a request nothing can absorb:
+// lowest relative load among stations with any capacity, or — total blackout —
+// the station with the lowest assignment cost. It always returns a valid
+// station index.
+func shedStation(p *caching.Problem, load []float64, l int) int {
+	best, bestRel := -1, 0.0
+	for i := 0; i < p.NumStations; i++ {
+		if p.CapacityMHz[i] <= 0 {
+			continue
+		}
+		if rel := load[i] / p.CapacityMHz[i]; best < 0 || rel < bestRel {
+			best, bestRel = i, rel
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	bestCost := 0.0
+	for i := 0; i < p.NumStations; i++ {
+		if c := p.AssignCost(l, i); best < 0 || c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return best
 }
 
 // sampleFromCandidates implements Algorithm 1 line 7: assign each request to

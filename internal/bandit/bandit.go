@@ -57,17 +57,25 @@ func NewArmsWithPriors(priors []float64) *Arms {
 // Len reports the number of arms.
 func (a *Arms) Len() int { return len(a.count) }
 
-// Observe records one delay sample for arm i (Welford update).
-func (a *Arms) Observe(i int, delay float64) {
+// Observe records one delay sample for arm i (Welford update). Non-finite
+// samples — corrupted feedback from a broken telemetry path — are rejected
+// outright: one NaN folded into the running mean would poison the arm's
+// estimate (and through it the LP costs) forever. The return reports whether
+// the sample was ingested.
+func (a *Arms) Observe(i int, delay float64) bool {
+	if math.IsNaN(delay) || math.IsInf(delay, 0) {
+		return false
+	}
 	if a.count[i] == 0 {
 		a.mean[i] = delay
 		a.count[i] = 1
-		return
+		return true
 	}
 	a.count[i]++
 	d := delay - a.mean[i]
 	a.mean[i] += d / float64(a.count[i])
 	a.m2[i] += d * (delay - a.mean[i])
+	return true
 }
 
 // Mean returns the current estimate theta_i (the optimistic prior when the

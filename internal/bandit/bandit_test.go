@@ -338,3 +338,37 @@ func TestPropertyWindowArmsMatchesTrailingMean(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestObserveRejectsNonFiniteSamples(t *testing.T) {
+	a := NewArms(2, 1)
+	a.Observe(0, 10)
+	a.Observe(0, 20)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if a.Observe(0, bad) {
+			t.Errorf("Observe ingested %v", bad)
+		}
+	}
+	if got := a.Mean(0); got != 15 {
+		t.Errorf("mean poisoned by rejected samples: %v, want 15", got)
+	}
+	if a.Count(0) != 2 {
+		t.Errorf("count = %d after rejected samples, want 2", a.Count(0))
+	}
+	// An arm that has ONLY seen garbage stays on its finite prior.
+	a.Observe(1, math.NaN())
+	if got := a.Mean(1); math.IsNaN(got) || got != 1 {
+		t.Errorf("untouched arm mean = %v, want prior 1", got)
+	}
+
+	w, err := NewWindowArms(4, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Observe(0, 10)
+	if w.Observe(0, math.NaN()) {
+		t.Error("WindowArms ingested NaN")
+	}
+	if got := w.Mean(0); got != 10 {
+		t.Errorf("window mean = %v, want 10", got)
+	}
+}

@@ -1,6 +1,9 @@
 package bandit
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // WindowArms tracks per-arm statistics over a sliding window of the most
 // recent observations — an extension for NON-stationary delay processes
@@ -41,13 +44,19 @@ func NewWindowArms(window int, priors []float64) (*WindowArms, error) {
 func (w *WindowArms) Len() int { return len(w.ring) }
 
 // Observe records one delay sample for arm i, evicting the oldest sample
-// once the window is full.
-func (w *WindowArms) Observe(i int, delay float64) {
+// once the window is full. Non-finite samples (corrupted feedback) are
+// rejected, same as Arms.Observe; the return reports whether the sample was
+// ingested.
+func (w *WindowArms) Observe(i int, delay float64) bool {
+	if math.IsNaN(delay) || math.IsInf(delay, 0) {
+		return false
+	}
 	w.ring[i][w.cursors[i]] = delay
 	w.cursors[i] = (w.cursors[i] + 1) % w.window
 	if w.filled[i] < w.window {
 		w.filled[i]++
 	}
+	return true
 }
 
 // Mean returns the windowed estimate for arm i (the prior when unplayed).

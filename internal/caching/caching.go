@@ -19,11 +19,26 @@
 package caching
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/mecsim/l4e/internal/flow"
 	"github.com/mecsim/l4e/internal/lp"
+)
+
+// Solver failure modes, re-exported so policies can branch with errors.Is
+// without importing internal/lp. The wrapped errors returned by the *WS
+// solvers match these sentinels.
+var (
+	// ErrInfeasible is lp.ErrInfeasible: the relaxation has no feasible point.
+	ErrInfeasible = lp.ErrInfeasible
+	// ErrUnbounded is lp.ErrUnbounded (a lowering bug; never expected here).
+	ErrUnbounded = lp.ErrUnbounded
+	// ErrIterLimit is lp.ErrIterLimit: the simplex exhausted its pivot budget
+	// (either the default or Problem.SolveBudget) before reaching optimality.
+	ErrIterLimit = lp.ErrIterLimit
 )
 
 // RequestSpec is the per-slot view of one request: its service, its data
@@ -55,6 +70,11 @@ type Problem struct {
 	// AccessLatencyMS[l][i] is the known extra latency of serving request l
 	// at station i (nil means zero everywhere).
 	AccessLatencyMS [][]float64
+	// SolveBudget caps the simplex pivots the exact backend may spend on this
+	// slot (0 = the solver's default). Exhausting it surfaces as ErrIterLimit,
+	// which the degradation ladder (SolveLPLadderWS) absorbs by falling back
+	// to the flow and greedy rungs instead of aborting the slot.
+	SolveBudget int
 }
 
 // Validate checks dimension consistency.
@@ -74,6 +94,8 @@ func (p *Problem) Validate() error {
 		return fmt.Errorf("caching: %d inst-delay rows for %d stations", len(p.InstDelayMS), p.NumStations)
 	case p.CUnit <= 0:
 		return fmt.Errorf("caching: CUnit = %v", p.CUnit)
+	case p.SolveBudget < 0:
+		return fmt.Errorf("caching: SolveBudget = %d", p.SolveBudget)
 	}
 	for i, row := range p.InstDelayMS {
 		if len(row) != p.NumServices {
@@ -120,6 +142,10 @@ const (
 	// SolverFlow is the min-cost-flow reformulation (internal/flow) — the
 	// fast path at experiment scale.
 	SolverFlow SolverKind = "flow"
+	// SolverGreedy is the last rung of the degradation ladder: a greedy
+	// one-hot assignment that always produces a solution, used only after the
+	// relaxation backends fail.
+	SolverGreedy SolverKind = "greedy"
 )
 
 // SolveStats records the effort the relaxation backend spent on one solve.
@@ -144,6 +170,13 @@ type SolveStats struct {
 	// WarmStarted reports whether carried node potentials replaced the
 	// Bellman-Ford initialisation (flow backend only; see flow.MinCostFlowWS).
 	WarmStarted bool
+	// Fallbacks counts the degradation-ladder rungs that failed before this
+	// solve succeeded (0 = the primary backend solved it).
+	Fallbacks int
+	// IterLimited reports whether a failed rung hit ErrIterLimit (the solve
+	// budget ran out) as opposed to infeasibility — distinguishable so callers
+	// can tell "needs more budget" from "needs load shedding".
+	IterLimited bool
 }
 
 // Fractional is a (possibly fractional) solution to the LP relaxation.
@@ -179,6 +212,12 @@ func (a *Assignment) Instances(p *Problem) map[[2]int]bool {
 // tableau costs O((L+N+LN)^2) memory and cubic-ish pivoting time, so only
 // small instances stay on the exact path in per-slot use.
 const _exactVarLimit = 200
+
+// _zeroCapOverload is the processor-sharing slowdown charged to load placed on
+// a station with zero capacity (possible only via the shedding path when a
+// fault has taken stations down). Finite by design: a blackout slot must yield
+// a terrible delay, not an unusable NaN/Inf.
+const _zeroCapOverload = 100
 
 // Workspace carries solver state across per-slot solves so the hot decide
 // path stops allocating: the lowered LP problem and simplex tableau (exact
@@ -387,6 +426,9 @@ func (p *Problem) SolveLPExactWS(ws *Workspace) (*Fractional, error) {
 		}
 	}
 
+	if err := prob.SetIterLimit(p.SolveBudget); err != nil {
+		return nil, fmt.Errorf("caching: %w", err)
+	}
 	sol, err := prob.SolveWS(ws.lpWS)
 	if err != nil {
 		return nil, fmt.Errorf("caching: LP relaxation: %w", err)
@@ -544,6 +586,147 @@ func (p *Problem) SolveLPFlowWS(ws *Workspace) (*Fractional, error) {
 	return frac, nil
 }
 
+// SolveLPLadder is SolveLPLadderWS with a throwaway workspace.
+func (p *Problem) SolveLPLadder() (*Fractional, error) {
+	return p.SolveLPLadderWS(nil)
+}
+
+// SolveLPLadderWS is the graceful-degradation solve path: it runs the same
+// size dispatch as SolveLPWS, and when the chosen backend fails — iteration
+// budget exhausted (ErrIterLimit), an infeasible slot (a fault zeroed too much
+// capacity), numerical trouble — it descends the ladder instead of failing:
+//
+//	LP-exact (simplex)  →  min-cost-flow  →  greedy one-hot assignment
+//
+// The greedy rung always succeeds, so a nil error is guaranteed for any
+// structurally valid problem; only Validate errors (programmer mistakes, not
+// solver conditions) still propagate. The descent is recorded in
+// Stats.Fallbacks and Stats.IterLimited so degraded slots are observable.
+func (p *Problem) SolveLPLadderWS(ws *Workspace) (*Fractional, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	frac, err := p.SolveLPWS(ws)
+	if err == nil {
+		return frac, nil
+	}
+	fallbacks := 1
+	iterLimited := errors.Is(err, ErrIterLimit)
+	// The flow rung only adds anything when the primary backend was the exact
+	// simplex; at flow scale the primary attempt already was the flow solver.
+	if len(p.Requests)*p.NumStations <= _exactVarLimit {
+		if frac, err = p.SolveLPFlowWS(ws); err == nil {
+			frac.Stats.Fallbacks = fallbacks
+			frac.Stats.IterLimited = iterLimited
+			return frac, nil
+		}
+		fallbacks++
+	}
+	frac = p.solveGreedyWS(ws)
+	frac.Stats.Fallbacks = fallbacks
+	frac.Stats.IterLimited = iterLimited
+	return frac, nil
+}
+
+// SolveGreedy is the bottom rung of the degradation ladder as a standalone
+// solver: a deterministic one-hot "fractional" built greedily, valid for any
+// problem that passes Validate — even one with zero total capacity.
+func (p *Problem) SolveGreedy() (*Fractional, error) {
+	return p.SolveGreedyWS(nil)
+}
+
+// SolveGreedyWS is SolveGreedy with a reusable workspace (only the result
+// matrices are drawn from it).
+func (p *Problem) SolveGreedyWS(ws *Workspace) (*Fractional, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p.solveGreedyWS(ws), nil
+}
+
+// solveGreedyWS places requests largest-first on the cheapest station with
+// room; when nothing has room the request is shed to the least relatively
+// loaded station that has any capacity (or, in a total blackout, the station
+// with the lowest assignment cost). It cannot fail: every request gets a
+// station, capacity violations are accepted and priced by Evaluate's overload
+// model rather than rejected.
+func (p *Problem) solveGreedyWS(ws *Workspace) *Fractional {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	L, N, K := len(p.Requests), p.NumStations, p.NumServices
+	frac := ws.result(L, N, K)
+
+	order := make([]int, L)
+	for l := range order {
+		order[l] = l
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.Requests[order[a]].Volume > p.Requests[order[b]].Volume
+	})
+
+	load := make([]float64, N)
+	cached := make(map[[2]int]bool)
+	for _, l := range order {
+		k := p.Requests[l].Service
+		demand := p.Requests[l].Volume * p.CUnit
+		best, bestCost := -1, math.Inf(1)
+		for i := 0; i < N; i++ {
+			if load[i]+demand > p.CapacityMHz[i]+1e-9 {
+				continue
+			}
+			cost := p.AssignCost(l, i)
+			if !cached[[2]int{k, i}] {
+				cost += p.InstDelayMS[i][k]
+			}
+			if cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		if best < 0 {
+			best = p.shedTarget(l, load)
+		}
+		load[best] += demand
+		cached[[2]int{k, best}] = true
+		frac.X[l][best] = 1
+		if frac.Y[k][best] < 1 {
+			frac.Y[k][best] = 1
+		}
+	}
+	frac.Objective = p.fracObjective(frac)
+	frac.Stats = SolveStats{
+		Solver:      SolverGreedy,
+		Variables:   L * N,
+		Constraints: L + N,
+	}
+	return frac
+}
+
+// shedTarget picks where an unplaceable request goes: the station with the
+// lowest relative load among those with any capacity, falling back to the
+// cheapest station outright when every capacity is zero (total blackout).
+func (p *Problem) shedTarget(l int, load []float64) int {
+	best, bestRel := -1, math.Inf(1)
+	for i := 0; i < p.NumStations; i++ {
+		if p.CapacityMHz[i] <= 0 {
+			continue
+		}
+		if rel := load[i] / p.CapacityMHz[i]; rel < bestRel {
+			best, bestRel = i, rel
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	bestCost := math.Inf(1)
+	for i := 0; i < p.NumStations; i++ {
+		if c := p.AssignCost(l, i); c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return best
+}
+
 func growIDs(buf []int, n int) []int {
 	if cap(buf) < n {
 		return make([]int, n)
@@ -633,7 +816,16 @@ func (p *Problem) EvaluateWarm(a *Assignment, actualUnitDelayMS []float64, prevI
 	overload := make([]float64, p.NumStations)
 	for i := range overload {
 		overload[i] = 1
-		if p.CapacityMHz[i] > 0 && used[i] > p.CapacityMHz[i] {
+		switch {
+		case used[i] <= 0:
+			// Unloaded stations carry no overload regardless of capacity.
+		case p.CapacityMHz[i] <= 0:
+			// Load shed onto a downed station (the degradation path's last
+			// resort) is served, but at a punishing — finite — slowdown, so
+			// delays stay comparable across policies instead of blowing up
+			// to infinity or, worse, being served for free.
+			overload[i] = _zeroCapOverload
+		case used[i] > p.CapacityMHz[i]:
 			overload[i] = used[i] / p.CapacityMHz[i]
 		}
 	}

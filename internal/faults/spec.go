@@ -1,0 +1,179 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/mecsim/l4e/internal/mec"
+)
+
+// Parse builds a Schedule from a compact chaos spec: comma-separated
+// injector entries of the form kind[:param[:param[:param]]]. Omitted
+// parameters take the defaults noted below.
+//
+//	outage:RATE[:DOWN]            i.i.d. station crashes       (down 5)
+//	regional:RATE[:DOWN]          correlated regional outages  (down 5)
+//	brownout:RATE[:FACTOR[:DOWN]] capacity brownouts           (factor 0.3, down 5)
+//	spike:RATE[:FACTOR[:DOWN]]    delay spikes                 (factor 4, down 3)
+//	feedback:DROP[:CORRUPT]       observation loss/corruption  (corrupt 0)
+//	surge:RATE[:FACTOR[:DOWN]]    demand surges                (factor 3, down 5)
+//	blackout:AT[:DOWN]            every station down at slot AT (down 1)
+//
+// Example: "regional:0.03:4,feedback:0.1:0.05,surge:0.02".
+// Each injector derives its private seed from the base seed and its position
+// in the spec, so the same spec + seed always injects the same faults.
+func Parse(spec string, net *mec.Network, seed int64) (*Schedule, error) {
+	if net == nil || net.NumStations() == 0 {
+		return nil, fmt.Errorf("faults: Parse needs a non-empty network")
+	}
+	var injs []Injector
+	for idx, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		kind := parts[0]
+		args := parts[1:]
+		injSeed := seed + int64(idx+1)*1009
+
+		inj, err := buildInjector(kind, args, net, injSeed)
+		if err != nil {
+			return nil, fmt.Errorf("faults: entry %q: %w", entry, err)
+		}
+		injs = append(injs, inj)
+	}
+	return NewSchedule(net.NumStations(), injs...)
+}
+
+func buildInjector(kind string, args []string, net *mec.Network, seed int64) (Injector, error) {
+	f := func(i int, def float64) (float64, error) {
+		if i >= len(args) {
+			return def, nil
+		}
+		v, err := strconv.ParseFloat(args[i], 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad parameter %q", args[i])
+		}
+		return v, nil
+	}
+	n := func(i, def int) (int, error) {
+		if i >= len(args) {
+			return def, nil
+		}
+		v, err := strconv.Atoi(args[i])
+		if err != nil {
+			return 0, fmt.Errorf("bad parameter %q", args[i])
+		}
+		return v, nil
+	}
+
+	switch kind {
+	case "outage":
+		if len(args) < 1 || len(args) > 2 {
+			return nil, fmt.Errorf("want outage:RATE[:DOWN]")
+		}
+		rate, err := f(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		down, err := n(1, 5)
+		if err != nil {
+			return nil, err
+		}
+		return NewStationOutage(rate, down, seed)
+	case "regional":
+		if len(args) < 1 || len(args) > 2 {
+			return nil, fmt.Errorf("want regional:RATE[:DOWN]")
+		}
+		rate, err := f(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		down, err := n(1, 5)
+		if err != nil {
+			return nil, err
+		}
+		return NewRegionalOutage(net, rate, down, seed)
+	case "brownout":
+		if len(args) < 1 || len(args) > 3 {
+			return nil, fmt.Errorf("want brownout:RATE[:FACTOR[:DOWN]]")
+		}
+		rate, err := f(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		factor, err := f(1, 0.3)
+		if err != nil {
+			return nil, err
+		}
+		down, err := n(2, 5)
+		if err != nil {
+			return nil, err
+		}
+		return NewBrownout(rate, factor, down, seed)
+	case "spike":
+		if len(args) < 1 || len(args) > 3 {
+			return nil, fmt.Errorf("want spike:RATE[:FACTOR[:DOWN]]")
+		}
+		rate, err := f(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		factor, err := f(1, 4)
+		if err != nil {
+			return nil, err
+		}
+		down, err := n(2, 3)
+		if err != nil {
+			return nil, err
+		}
+		return NewDelaySpike(rate, factor, down, seed)
+	case "feedback":
+		if len(args) < 1 || len(args) > 2 {
+			return nil, fmt.Errorf("want feedback:DROP[:CORRUPT]")
+		}
+		drop, err := f(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		corrupt, err := f(1, 0)
+		if err != nil {
+			return nil, err
+		}
+		return NewFeedbackLoss(drop, corrupt, seed)
+	case "surge":
+		if len(args) < 1 || len(args) > 3 {
+			return nil, fmt.Errorf("want surge:RATE[:FACTOR[:DOWN]]")
+		}
+		rate, err := f(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		factor, err := f(1, 3)
+		if err != nil {
+			return nil, err
+		}
+		down, err := n(2, 5)
+		if err != nil {
+			return nil, err
+		}
+		return NewDemandSurge(rate, factor, down, seed)
+	case "blackout":
+		if len(args) < 1 || len(args) > 2 {
+			return nil, fmt.Errorf("want blackout:AT[:DOWN]")
+		}
+		at, err := n(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		down, err := n(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		return NewBlackout(at, down)
+	default:
+		return nil, fmt.Errorf("unknown injector kind %q (have outage, regional, brownout, spike, feedback, surge, blackout)", kind)
+	}
+}

@@ -61,6 +61,7 @@ type Problem struct {
 	upperBounds []float64 // math.Inf(1) when unbounded above
 	names       []string
 	constraints []Constraint
+	iterLimit   int // 0 = default pivot budget
 }
 
 // NewProblem returns an empty minimization problem.
@@ -135,6 +136,21 @@ func (p *Problem) SetConstraintRHS(i int, rhs float64) error {
 	p.constraints[i].RHS = rhs
 	return nil
 }
+
+// SetIterLimit caps the simplex pivot budget of subsequent solves on this
+// problem; 0 restores the default budget of 50*(rows+cols+10). Exhausting the
+// budget surfaces as ErrIterLimit, which callers with a per-slot solve budget
+// treat as a signal to fall back rather than a hard failure.
+func (p *Problem) SetIterLimit(n int) error {
+	if n < 0 {
+		return fmt.Errorf("lp: SetIterLimit(%d) is negative", n)
+	}
+	p.iterLimit = n
+	return nil
+}
+
+// IterLimit reports the configured pivot budget (0 = default).
+func (p *Problem) IterLimit() int { return p.iterLimit }
 
 // ConstraintCoefs returns the live coefficient slice of constraint i for
 // in-place rewriting. The column pattern (Cols) stays fixed; callers may only
@@ -399,6 +415,9 @@ func newTableau(p *Problem, ws *Workspace) (*tableau, error) {
 	}
 	// Compact: artificial columns were allocated starting at n; artCol-n used.
 	t.maxIter = 50 * (m + n + 10)
+	if p.iterLimit > 0 {
+		t.maxIter = p.iterLimit
+	}
 	return t, nil
 }
 

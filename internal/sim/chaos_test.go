@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mecsim/l4e/internal/algorithms"
+	"github.com/mecsim/l4e/internal/faults"
+)
+
+func newOLGD(t *testing.T, n int) *algorithms.OLGD {
+	t.Helper()
+	o, err := algorithms.NewOLGD(algorithms.DefaultOLGDConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestBlackoutSlotDegradesInsteadOfAborting(t *testing.T) {
+	net, w := testEnv(t, 15, 8, 12)
+	blackout, err := faults.NewBlackout(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := faults.NewSchedule(net.NumStations(), blackout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(net, w, Config{Seed: 11, DemandsGiven: true, Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(newOLGD(t, net.NumStations()))
+	if err != nil {
+		t.Fatalf("blackout aborted the run: %v", err)
+	}
+	if got := len(res.PerSlotDelayMS); got != 12 {
+		t.Fatalf("horizon truncated to %d slots", got)
+	}
+	for tt, d := range res.PerSlotDelayMS {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("slot %d delay %v not finite", tt, d)
+		}
+	}
+	if res.DegradedSlots == 0 {
+		t.Error("blackout slots not reported as degraded")
+	}
+	if res.FailedStationSlots < 2*net.NumStations() {
+		t.Errorf("FailedStationSlots = %d, want >= %d (2 dark slots, all stations)",
+			res.FailedStationSlots, 2*net.NumStations())
+	}
+	if res.FaultsInjected == 0 {
+		t.Error("blackout not counted in FaultsInjected")
+	}
+}
+
+func TestBanditStaysFiniteUnderFeedbackCorruption(t *testing.T) {
+	net, w := testEnv(t, 15, 8, 25)
+	// Every observation is either dropped or corrupted to NaN.
+	fl, err := faults.NewFeedbackLoss(0.5, 0.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := faults.NewSchedule(net.NumStations(), fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(net, w, Config{Seed: 13, DemandsGiven: true, Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newOLGD(t, net.NumStations())
+	res, err := r.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range o.Arms().Means() {
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			t.Fatalf("arm %d estimate %v poisoned by corrupted feedback", i, m)
+		}
+	}
+	for tt, d := range res.PerSlotDelayMS {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("slot %d delay %v not finite", tt, d)
+		}
+	}
+}
+
+func TestZeroRateScheduleIsBitIdenticalToNoSchedule(t *testing.T) {
+	net, w := testEnv(t, 15, 8, 20)
+	run := func(sched *faults.Schedule) *Result {
+		r, err := NewRunner(net, w, Config{Seed: 17, DemandsGiven: true, Faults: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(newOLGD(t, net.NumStations()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	inert, err := faults.NewStationOutage(0, 5, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := faults.NewSchedule(net.NumStations(), inert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, gated := run(nil), run(sched)
+	if len(bare.PerSlotDelayMS) != len(gated.PerSlotDelayMS) {
+		t.Fatal("slot counts differ")
+	}
+	for tt := range bare.PerSlotDelayMS {
+		if bare.PerSlotDelayMS[tt] != gated.PerSlotDelayMS[tt] {
+			t.Fatalf("slot %d: %v (no schedule) vs %v (inert schedule) — not bit-identical",
+				tt, bare.PerSlotDelayMS[tt], gated.PerSlotDelayMS[tt])
+		}
+	}
+	if gated.DegradedSlots != 0 || gated.FaultsInjected != 0 {
+		t.Errorf("inert schedule reported degradation: %d degraded, %d injected",
+			gated.DegradedSlots, gated.FaultsInjected)
+	}
+}
+
+func TestFaultScheduleIsIdenticalAcrossComparedPolicies(t *testing.T) {
+	net, w := testEnv(t, 15, 8, 20)
+	outage, err := faults.NewStationOutage(0.1, 3, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := faults.NewSchedule(net.NumStations(), outage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(net, w, Config{Seed: 19, DemandsGiven: true, Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Run(newOLGD(t, net.NumStations()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(newOLGD(t, net.NumStations()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same policy, same seed, same schedule: the Reset before each run must
+	// make both runs face identical faults — and hence identical results.
+	if a.FailedStationSlots != b.FailedStationSlots || a.FaultsInjected != b.FaultsInjected {
+		t.Fatalf("fault sequences diverged across runs: (%d,%d) vs (%d,%d)",
+			a.FailedStationSlots, a.FaultsInjected, b.FailedStationSlots, b.FaultsInjected)
+	}
+	for tt := range a.PerSlotDelayMS {
+		if a.PerSlotDelayMS[tt] != b.PerSlotDelayMS[tt] {
+			t.Fatalf("slot %d delays diverged: %v vs %v", tt, a.PerSlotDelayMS[tt], b.PerSlotDelayMS[tt])
+		}
+	}
+}
+
+func TestDemandSurgeRaisesRealisedLoad(t *testing.T) {
+	net, w := testEnv(t, 15, 8, 20)
+	surge, err := faults.NewDemandSurge(1, 4, 20, 7) // every slot surged 4x
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := faults.NewSchedule(net.NumStations(), surge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(s *faults.Schedule) float64 {
+		r, err := NewRunner(net, w, Config{Seed: 29, DemandsGiven: true, Faults: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(newOLGD(t, net.NumStations()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgDelayMS
+	}
+	if surged, base := run(sched), run(nil); surged <= base {
+		t.Errorf("4x demand surge did not raise delay: %v <= %v", surged, base)
+	}
+}

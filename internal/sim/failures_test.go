@@ -5,6 +5,7 @@ import (
 
 	"github.com/mecsim/l4e/internal/algorithms"
 	"github.com/mecsim/l4e/internal/caching"
+	"github.com/mecsim/l4e/internal/faults"
 )
 
 func TestFailureInjectionValidation(t *testing.T) {
@@ -15,6 +16,28 @@ func TestFailureInjectionValidation(t *testing.T) {
 	if _, err := NewRunner(net, w, Config{FailureRate: 1.5}); err == nil {
 		t.Error("failure rate > 1 accepted")
 	}
+	if _, err := NewRunner(net, w, Config{FailureRate: 0.1, FailureSlots: -3}); err == nil {
+		t.Error("negative FailureSlots accepted")
+	}
+	if _, err := NewRunner(net, w, Config{SolveBudget: -1}); err == nil {
+		t.Error("negative SolveBudget accepted")
+	}
+	sched, err := faults.NewSchedule(net.NumStations()+1, mustOutage(t, 0.1, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(net, w, Config{Faults: sched}); err == nil {
+		t.Error("fault schedule with wrong station count accepted")
+	}
+}
+
+func mustOutage(t *testing.T, rate float64, down int, seed int64) *faults.StationOutage {
+	t.Helper()
+	o, err := faults.NewStationOutage(rate, down, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
 }
 
 func TestFailureInjectionZeroesCapacity(t *testing.T) {

@@ -17,6 +17,7 @@ import (
 	"github.com/mecsim/l4e/internal/algorithms"
 	"github.com/mecsim/l4e/internal/bandit"
 	"github.com/mecsim/l4e/internal/caching"
+	"github.com/mecsim/l4e/internal/faults"
 	"github.com/mecsim/l4e/internal/mec"
 	"github.com/mecsim/l4e/internal/obs"
 	"github.com/mecsim/l4e/internal/workload"
@@ -46,11 +47,23 @@ type Config struct {
 	// Off by default: the paper's objective (3) charges y_ki each slot.
 	WarmCache bool
 	// FailureRate is the per-slot probability that a healthy station fails
-	// (capacity drops to zero for FailureSlots slots). Failure injection is
-	// an extension for robustness experiments; 0 disables it.
+	// (capacity drops to zero for FailureSlots slots). 0 disables it. This is
+	// the legacy knob, kept as a compatibility shim: a positive rate is
+	// translated into a faults.StationOutage injector appended to Faults.
 	FailureRate float64
 	// FailureSlots is how long a failed station stays down (default 5).
 	FailureSlots int
+	// Faults composes the fault injectors applied each slot (outages,
+	// brownouts, delay spikes, feedback loss, demand surges — see
+	// internal/faults). nil injects nothing. The schedule is Reset at the
+	// start of every Run, so compared policies face identical fault
+	// sequences; injector randomness is private, leaving the environment's
+	// delay draws untouched.
+	Faults *faults.Schedule
+	// SolveBudget caps the exact backend's simplex pivots per slot (0 = the
+	// solver default). Exhaustion degrades through the solve ladder instead
+	// of failing the slot.
+	SolveBudget int
 	// Observer receives per-slot spans and metrics. nil (the default)
 	// disables all instrumentation; every hook is nil-safe, so the disabled
 	// path costs one pointer test per call site and leaves per-slot results
@@ -73,8 +86,23 @@ type Result struct {
 	// OverloadSlots counts slots where realised volumes exceeded some
 	// station capacity (possible when acting on under-predicted demands).
 	OverloadSlots int
-	// FailedStationSlots counts (station, slot) pairs spent failed.
+	// FailedStationSlots counts (station, slot) pairs spent fully down
+	// (capacity zeroed by a fault).
 	FailedStationSlots int
+	// DegradedSlots counts slots that completed only through the degradation
+	// machinery: a solver fallback, shed requests, or a substituted fallback
+	// assignment. The horizon itself never aborts on these.
+	DegradedSlots int
+	// FallbackSolves counts solver-ladder rungs that failed across the run
+	// (see caching.SolveLPLadderWS).
+	FallbackSolves int
+	// RepairViolations counts requests shed past capacity across the run.
+	RepairViolations int
+	// DecideFailures counts slots where the policy's Decide itself errored
+	// and the simulator substituted a greedy fallback assignment.
+	DecideFailures int
+	// FaultsInjected counts fault events injected by the schedule.
+	FaultsInjected int
 	// Regret is populated when Config.TrackRegret is set.
 	Regret *bandit.RegretTracker
 }
@@ -85,10 +113,18 @@ type Runner struct {
 	w   *workload.Workload
 	cfg Config
 
+	// sched composes Config.Faults with the legacy FailureRate shim; nil
+	// when no fault injection is configured.
+	sched *faults.Schedule
+
 	// accessLat[l][i] is the known latency from request l's registered
 	// station to station i (nil when disabled).
 	accessLat [][]float64
 }
+
+// _failureShimSeedOffset decorrelates the legacy-shim outage injector's
+// private randomness from the environment seed.
+const _failureShimSeedOffset = 7919
 
 // NewRunner prepares a simulation environment. The access-latency matrix is
 // precomputed from the network's link latencies (shortest paths).
@@ -102,10 +138,37 @@ func NewRunner(net *mec.Network, w *workload.Workload, cfg Config) (*Runner, err
 	if cfg.FailureRate < 0 || cfg.FailureRate > 1 {
 		return nil, fmt.Errorf("sim: FailureRate = %v outside [0,1]", cfg.FailureRate)
 	}
+	if cfg.FailureSlots < 0 {
+		return nil, fmt.Errorf("sim: FailureSlots = %d is negative", cfg.FailureSlots)
+	}
 	if cfg.FailureSlots == 0 {
 		cfg.FailureSlots = 5
 	}
+	if cfg.SolveBudget < 0 {
+		return nil, fmt.Errorf("sim: SolveBudget = %d is negative", cfg.SolveBudget)
+	}
+	if cfg.Faults != nil && cfg.Faults.NumStations() != net.NumStations() {
+		return nil, fmt.Errorf("sim: fault schedule built for %d stations, network has %d",
+			cfg.Faults.NumStations(), net.NumStations())
+	}
 	r := &Runner{net: net, w: w, cfg: cfg}
+	// Legacy shim: a positive FailureRate becomes an i.i.d. station-outage
+	// injector composed after any explicitly configured injectors.
+	injs := cfg.Faults.InjectorList()
+	if cfg.FailureRate > 0 {
+		outage, err := faults.NewStationOutage(cfg.FailureRate, cfg.FailureSlots, cfg.Seed+_failureShimSeedOffset)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		injs = append(injs, outage)
+	}
+	if len(injs) > 0 {
+		sched, err := faults.NewSchedule(net.NumStations(), injs...)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		r.sched = sched
+	}
 	if cfg.UseAccessLatency {
 		// Shortest latency from each distinct registered station, cached.
 		bySource := make(map[int][]float64)
@@ -145,10 +208,12 @@ func (r *Runner) slots() int {
 
 // buildProblem assembles slot t's caching problem over the ACTIVE request
 // set R(t). trueVolumes selects whether request volumes carry rho_l(t) or
-// only the basic demands; down masks failed stations (their capacity is
-// zeroed). RequestSpec.ID keeps each slot entry tied to its stable workload
-// request, so policies with per-request state index by ID, not position.
-func (r *Runner) buildProblem(t int, trueVolumes bool, down []bool) *caching.Problem {
+// only the basic demands; a non-nil fault effect scales station capacities
+// (outages and brownouts) and, on the true volumes only, request demands
+// (surges — the basic-demand view stays the a-priori information).
+// RequestSpec.ID keeps each slot entry tied to its stable workload request,
+// so policies with per-request state index by ID, not position.
+func (r *Runner) buildProblem(t int, trueVolumes bool, eff *faults.Effect) *caching.Problem {
 	p := &caching.Problem{
 		NumStations: r.net.NumStations(),
 		NumServices: len(r.w.Services),
@@ -156,11 +221,12 @@ func (r *Runner) buildProblem(t int, trueVolumes bool, down []bool) *caching.Pro
 		CUnit:       r.w.Config.CUnit,
 		UnitDelayMS: make([]float64, r.net.NumStations()),
 		InstDelayMS: r.w.InstDelayMS,
+		SolveBudget: r.cfg.SolveBudget,
 	}
 	for i := range p.CapacityMHz {
 		p.CapacityMHz[i] = r.net.Stations[i].CapacityMHz
-		if down != nil && down[i] {
-			p.CapacityMHz[i] = 0
+		if eff != nil {
+			p.CapacityMHz[i] *= eff.CapacityFactor[i]
 		}
 	}
 	var lat [][]float64
@@ -171,6 +237,9 @@ func (r *Runner) buildProblem(t int, trueVolumes bool, down []bool) *caching.Pro
 		v := req.BasicDemand
 		if trueVolumes {
 			v = r.w.Volumes[t][l]
+			if eff != nil {
+				v *= eff.DemandFactor
+			}
 		}
 		p.Requests = append(p.Requests, caching.RequestSpec{
 			ID:           req.ID,
@@ -232,27 +301,31 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 		clusters[l] = req.Cluster
 	}
 
-	downUntil := make([]int, r.net.NumStations())
+	if r.sched != nil {
+		// Rewind every injector so compared policies face identical faults.
+		r.sched.Reset()
+	}
 	prevInstances := map[[2]int]bool(nil)
 	for t := 0; t < T; t++ {
 		actual := r.net.SampleDelays(rng)
 
-		// Failure injection: healthy stations fail with FailureRate and stay
-		// down for FailureSlots slots.
-		var down []bool
-		if r.cfg.FailureRate > 0 {
-			down = make([]bool, r.net.NumStations())
-			for i := range down {
-				if t < downUntil[i] {
-					down[i] = true
-					res.FailedStationSlots++
-					continue
+		// Fault injection: compose the slot's effect. Delay spikes perturb the
+		// realised delays here; capacity and demand factors are folded into the
+		// slot problems by buildProblem; feedback faults apply at Observe.
+		var eff *faults.Effect
+		if r.sched != nil {
+			eff = r.sched.Apply(t)
+			res.FaultsInjected += eff.Injected
+			for i := range actual {
+				if eff.DelayFactor[i] != 1 {
+					actual[i] *= eff.DelayFactor[i]
 				}
-				if rng.Float64() < r.cfg.FailureRate {
-					downUntil[i] = t + r.cfg.FailureSlots
-					down[i] = true
+				if eff.CapacityFactor[i] == 0 {
 					res.FailedStationSlots++
 				}
+			}
+			if eff.Injected > 0 {
+				ob.Add("faults.injected", int64(eff.Injected))
 			}
 		}
 
@@ -260,36 +333,73 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 			setter.SetTrueDelays(actual)
 		}
 
+		deg := &algorithms.DegradeReport{}
 		view := &algorithms.SlotView{
 			T:            t,
-			Problem:      r.buildProblem(t, r.cfg.DemandsGiven, down),
+			Problem:      r.buildProblem(t, r.cfg.DemandsGiven, eff),
 			DemandsGiven: r.cfg.DemandsGiven,
 			Features:     r.slotFeatures(t),
 			Clusters:     clusters,
+			Degrade:      deg,
 		}
 		start := time.Now()
 		assignment, err := policy.Decide(view)
 		elapsed := time.Since(start)
-		if err != nil {
-			return nil, fmt.Errorf("sim: %s slot %d: %w", policy.Name(), t, err)
-		}
 
-		// Realised delay: true volumes, true delays.
-		evalProblem := r.buildProblem(t, true, down)
+		// Realised delay: true volumes, true delays. No policy or solver
+		// failure aborts the horizon: a failed Decide (or a malformed
+		// assignment) is replaced by the never-failing greedy fallback and the
+		// slot is recorded as degraded.
+		evalProblem := r.buildProblem(t, true, eff)
+		evalOnce := func(a *caching.Assignment) (float64, bool, map[[2]int]bool, error) {
+			if r.cfg.WarmCache {
+				return evalProblem.EvaluateWarm(a, actual, prevInstances)
+			}
+			avg, feasible, err := evalProblem.Evaluate(a, actual)
+			return avg, feasible, nil, err
+		}
 		var avg float64
 		var feasible bool
-		if r.cfg.WarmCache {
-			var inst map[[2]int]bool
-			avg, feasible, inst, err = evalProblem.EvaluateWarm(assignment, actual, prevInstances)
-			prevInstances = inst
-		} else {
-			avg, feasible, err = evalProblem.Evaluate(assignment, actual)
+		var inst map[[2]int]bool
+		decideFailed := err != nil || assignment == nil
+		if !decideFailed {
+			avg, feasible, inst, err = evalOnce(assignment)
+			decideFailed = err != nil
 		}
-		if err != nil {
-			return nil, fmt.Errorf("sim: %s slot %d evaluation: %w", policy.Name(), t, err)
+		if decideFailed {
+			res.DecideFailures++
+			if ob.Enabled() {
+				ob.Inc("sim.decide_failures")
+				if err != nil && ob.TraceEnabled() {
+					ob.Emit(obs.Event{Slot: t, Name: "decide.fallback", Policy: policy.Name(), Fields: obs.Fields{
+						"error": err.Error(),
+					}})
+				}
+			}
+			assignment = fallbackAssignment(evalProblem)
+			avg, feasible, inst, err = evalOnce(assignment)
+			if err != nil {
+				// The fallback assignment is structurally valid by
+				// construction; failing to evaluate it is a simulator bug.
+				return nil, fmt.Errorf("sim: %s slot %d fallback evaluation: %w", policy.Name(), t, err)
+			}
+		}
+		if r.cfg.WarmCache {
+			prevInstances = inst
 		}
 		if !feasible {
 			res.OverloadSlots++
+		}
+		res.FallbackSolves += deg.FallbackSolves
+		res.RepairViolations += deg.RepairViolations
+		if decideFailed || deg.FallbackSolves > 0 || deg.RepairViolations > 0 {
+			res.DegradedSlots++
+			if ob.Enabled() {
+				ob.Inc("sim.degraded_slots")
+				if deg.RepairViolations > 0 {
+					ob.Add("solve.repairs", int64(deg.RepairViolations))
+				}
+			}
 		}
 		res.PerSlotDelayMS = append(res.PerSlotDelayMS, avg)
 		res.PerSlotRuntimeMS = append(res.PerSlotRuntimeMS, float64(elapsed)/float64(time.Millisecond))
@@ -356,15 +466,34 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 			ob.SampleRuntime(t)
 		}
 
-		// Feedback: played arms and realised volumes.
+		// Feedback: played arms and realised volumes, filtered through the
+		// slot's feedback faults — dropped observations vanish (the learner
+		// sees nothing for that arm), corrupted ones arrive as NaN (the
+		// learner must reject them, see bandit.Arms.Observe).
 		played := make(map[int]float64)
 		for _, i := range assignment.BS {
 			played[i] = actual[i]
 		}
+		if eff != nil {
+			for i := range played {
+				switch {
+				case eff.DropFeedback[i]:
+					delete(played, i)
+				case eff.CorruptFeedback[i]:
+					played[i] = math.NaN()
+				}
+			}
+		}
+		vols := append([]float64(nil), r.w.Volumes[t]...)
+		if eff != nil && eff.DemandFactor != 1 {
+			for l := range vols {
+				vols[l] *= eff.DemandFactor
+			}
+		}
 		policy.Observe(&algorithms.Observation{
 			T:            t,
 			PlayedDelays: played,
-			TrueVolumes:  append([]float64(nil), r.w.Volumes[t]...),
+			TrueVolumes:  vols,
 			Active:       append([]bool(nil), r.w.Active[t]...),
 		})
 
@@ -372,15 +501,18 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 			oracle.SetTrueDelays(actual)
 			oview := &algorithms.SlotView{
 				T:            t,
-				Problem:      r.buildProblem(t, true, down),
+				Problem:      r.buildProblem(t, true, eff),
 				DemandsGiven: true,
 				Clusters:     clusters,
+				Degrade:      &algorithms.DegradeReport{},
 			}
 			oassign, err := oracle.Decide(oview)
-			if err != nil {
-				return nil, fmt.Errorf("sim: oracle slot %d: %w", t, err)
+			if err != nil || oassign == nil {
+				// The reference must not abort the run either: degrade it the
+				// same way as the policy under test.
+				oassign = fallbackAssignment(oview.Problem)
 			}
-			oavg, _, err := r.buildProblem(t, true, down).Evaluate(oassign, actual)
+			oavg, _, err := r.buildProblem(t, true, eff).Evaluate(oassign, actual)
 			if err != nil {
 				return nil, fmt.Errorf("sim: oracle slot %d evaluation: %w", t, err)
 			}
@@ -415,6 +547,28 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// fallbackAssignment is the simulator's last resort when a policy fails to
+// produce a usable assignment: the never-failing greedy rung of the solve
+// ladder, applied directly to the slot's realised problem. Requests land on
+// station 0 only if even the greedy solver rejects the problem (a malformed
+// instance the simulator itself built — effectively unreachable).
+func fallbackAssignment(p *caching.Problem) *caching.Assignment {
+	a := &caching.Assignment{BS: make([]int, len(p.Requests))}
+	frac, err := p.SolveGreedy()
+	if err != nil {
+		return a
+	}
+	for l := range frac.X {
+		for i, x := range frac.X[l] {
+			if x > 0 {
+				a.BS[l] = i
+				break
+			}
+		}
+	}
+	return a
 }
 
 // slotFeatures returns each request's current-slot observable feature row.

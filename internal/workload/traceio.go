@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -100,7 +101,9 @@ func (w *Workload) ReadTraceCSV(in io.Reader) error {
 			return fmt.Errorf("workload: line %d: cluster %q does not match request %d", line, rec[3], l)
 		}
 		v, err := strconv.ParseFloat(rec[4], 64)
-		if err != nil || v <= 0 {
+		// !(v > 0) rather than v <= 0: NaN fails every comparison, so the
+		// inverted form rejects NaN volumes instead of waving them through.
+		if err != nil || !(v > 0) || math.IsInf(v, 0) {
 			return fmt.Errorf("workload: line %d: bad volume %q", line, rec[4])
 		}
 		burst, err := strconv.Atoi(rec[5])
@@ -108,7 +111,7 @@ func (w *Workload) ReadTraceCSV(in io.Reader) error {
 			return fmt.Errorf("workload: line %d: bad burst flag %q", line, rec[5])
 		}
 		o, err := strconv.ParseFloat(rec[6], 64)
-		if err != nil {
+		if err != nil || math.IsNaN(o) || math.IsInf(o, 0) {
 			return fmt.Errorf("workload: line %d: bad occupancy %q", line, rec[6])
 		}
 		switch rec[7] {

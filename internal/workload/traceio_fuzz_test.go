@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTraceCSV feeds arbitrary byte strings to the trace parser. The
+// contract under fuzzing: never panic, and never accept a trace that leaves
+// non-finite or non-positive volumes in the workload — malformed, truncated,
+// and NaN-bearing inputs must all error cleanly.
+func FuzzReadTraceCSV(f *testing.F) {
+	net := testNet(f)
+	cfg := DefaultConfig()
+	cfg.NumRequests = 4
+	cfg.Horizon = 3
+	w, err := Generate(net, cfg, 5)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	var valid bytes.Buffer
+	if err := w.WriteTraceCSV(&valid); err != nil {
+		f.Fatal(err)
+	}
+	header := "slot,request,service,cluster,volume,cluster_burst,occupancy,active\n"
+	f.Add(valid.String())
+	f.Add(header)
+	f.Add(header + "0,0,0,0,NaN,0,1,1\n")
+	f.Add(header + "0,0,0,0,+Inf,0,1,1\n")
+	f.Add(header + "0,0,0,0,2.5,0,NaN,1\n")
+	f.Add(valid.String()[:len(valid.String())/2]) // truncated mid-row
+	f.Add("slot\n0\n")
+	f.Add("\x00\xff\"unclosed quote\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		// Each iteration parses into a fresh copy so a successful parse
+		// can be inspected without earlier iterations interfering.
+		fresh, err := Generate(net, cfg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.ReadTraceCSV(strings.NewReader(input)); err != nil {
+			return // clean rejection is always acceptable
+		}
+		for tt := range fresh.Volumes {
+			for l, v := range fresh.Volumes[tt] {
+				if !(v > 0) || math.IsInf(v, 0) {
+					t.Fatalf("accepted trace with bad volume %v at (%d,%d)", v, tt, l)
+				}
+			}
+			for c, o := range fresh.Occupancy[tt] {
+				if math.IsNaN(o) || math.IsInf(o, 0) {
+					t.Fatalf("accepted trace with bad occupancy %v at (%d,%d)", o, tt, c)
+				}
+			}
+		}
+	})
+}

@@ -9,7 +9,7 @@ import (
 	"github.com/mecsim/l4e/internal/topology"
 )
 
-func testNet(t *testing.T) *mec.Network {
+func testNet(t testing.TB) *mec.Network {
 	t.Helper()
 	net, err := topology.GTITM(40, 5)
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 
 	"github.com/mecsim/l4e/internal/algorithms"
 	"github.com/mecsim/l4e/internal/bandit"
+	"github.com/mecsim/l4e/internal/faults"
 	"github.com/mecsim/l4e/internal/mec"
 	"github.com/mecsim/l4e/internal/obs"
 	"github.com/mecsim/l4e/internal/sim"
@@ -109,6 +110,15 @@ type Scenario struct {
 	// FailureRate and FailureSlots configure station failure injection.
 	FailureRate  float64
 	FailureSlots int
+	// Chaos is a fault-injection spec (see WithChaos for the grammar). Empty
+	// means no injected faults beyond FailureRate.
+	Chaos string
+	// ChaosSeed seeds the chaos injectors independently of the environment
+	// (0 = derive from Seed). The same ChaosSeed replays the same faults.
+	ChaosSeed int64
+	// SolveBudget caps simplex iterations per slot solve (0 = unlimited);
+	// exhausted solves degrade down the fallback ladder instead of failing.
+	SolveBudget int
 	// Observer instruments simulation runs (nil disables).
 	Observer *Observer
 }
@@ -122,6 +132,9 @@ type scenarioConfig struct {
 	warmCache    bool
 	failureRate  float64
 	failureSlots int
+	chaos        string
+	chaosSeed    int64
+	solveBudget  int
 	remoteDC     bool
 	events       int
 	slots        int
@@ -185,6 +198,40 @@ func WithWarmCache(on bool) ScenarioOption {
 // given per-slot probability and stays down for the given number of slots.
 func WithFailures(rate float64, slots int) ScenarioOption {
 	return func(c *scenarioConfig) { c.failureRate = rate; c.failureSlots = slots }
+}
+
+// WithChaos attaches a composable fault-injection schedule, described by a
+// comma-separated spec of injectors:
+//
+//	outage:RATE[:DOWN]           independent station outages
+//	regional:RATE[:DOWN]         correlated whole-region (macro-cell) outages
+//	brownout:RATE[:FACTOR[:DOWN]] capacity reduced to FACTOR (0,1)
+//	spike:RATE[:FACTOR[:DOWN]]   network delay multiplied by FACTOR (>1)
+//	feedback:DROP[:CORRUPT]      bandit feedback dropped / corrupted to NaN
+//	surge:RATE[:FACTOR[:DOWN]]   demand volumes multiplied by FACTOR (>1)
+//	blackout:AT[:DOWN]           every station down at slot AT
+//
+// Example: "regional:0.05:3,feedback:0.1" — regional outages at rate 0.05
+// lasting 3 slots, plus 10% feedback loss. Injector randomness is private
+// (seeded by WithChaosSeed), so an empty spec is bit-identical to no chaos
+// and two policies compared under one scenario face identical faults.
+func WithChaos(spec string) ScenarioOption {
+	return func(c *scenarioConfig) { c.chaos = spec }
+}
+
+// WithChaosSeed seeds the chaos injectors (default: derived from the
+// scenario seed). Vary it to sample different fault realisations over the
+// same environment.
+func WithChaosSeed(seed int64) ScenarioOption {
+	return func(c *scenarioConfig) { c.chaosSeed = seed }
+}
+
+// WithSolveBudget caps simplex iterations per slot solve. Exhausted or
+// infeasible solves fall down the degradation ladder (exact LP → min-cost
+// flow → greedy shedding) instead of aborting the horizon; Result records
+// the descent in FallbackSolves/DegradedSlots.
+func WithSolveBudget(iters int) ScenarioOption {
+	return func(c *scenarioConfig) { c.solveBudget = iters }
 }
 
 // WithRemoteDC appends the remote data center of the paper's architecture
@@ -265,7 +312,15 @@ func NewScenario(opts ...ScenarioOption) (*Scenario, error) {
 		WarmCache:        cfg.warmCache,
 		FailureRate:      cfg.failureRate,
 		FailureSlots:     cfg.failureSlots,
+		Chaos:            cfg.chaos,
+		ChaosSeed:        cfg.chaosSeed,
+		SolveBudget:      cfg.solveBudget,
 		Observer:         cfg.observer,
+	}
+	// Validate the chaos spec at construction time so a typo fails here, not
+	// on the first Run.
+	if _, err := scn.faultSchedule(); err != nil {
+		return nil, err
 	}
 	if cfg.remoteDC {
 		// The DC's services are pre-deployed: zero instantiation delay.
@@ -411,8 +466,29 @@ func (s *Scenario) NewPolicy(name string) (Policy, error) {
 	}
 }
 
+// faultSchedule parses the scenario's chaos spec into an injector schedule
+// (nil when the spec is empty).
+func (s *Scenario) faultSchedule() (*faults.Schedule, error) {
+	if s.Chaos == "" {
+		return nil, nil
+	}
+	seed := s.ChaosSeed
+	if seed == 0 {
+		seed = s.Seed + 4000
+	}
+	sched, err := faults.Parse(s.Chaos, s.Net, seed)
+	if err != nil {
+		return nil, fmt.Errorf("l4e: chaos spec: %w", err)
+	}
+	return sched, nil
+}
+
 // runner builds the simulator for this scenario.
 func (s *Scenario) runner(trackRegret bool) (*sim.Runner, error) {
+	sched, err := s.faultSchedule()
+	if err != nil {
+		return nil, err
+	}
 	return sim.NewRunner(s.Net, s.Workload, sim.Config{
 		Seed:             s.Seed,
 		DemandsGiven:     s.DemandsGiven,
@@ -422,6 +498,8 @@ func (s *Scenario) runner(trackRegret bool) (*sim.Runner, error) {
 		WarmCache:        s.WarmCache,
 		FailureRate:      s.FailureRate,
 		FailureSlots:     s.FailureSlots,
+		Faults:           sched,
+		SolveBudget:      s.SolveBudget,
 		Observer:         s.Observer,
 	})
 }

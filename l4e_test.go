@@ -45,6 +45,12 @@ func TestNewScenarioErrors(t *testing.T) {
 	if _, err := NewScenario(WithWorkloadConfig(bad)); err == nil {
 		t.Error("zero workload config accepted")
 	}
+	if _, err := NewScenario(WithChaos("bogus:0.1")); err == nil {
+		t.Error("unknown chaos injector accepted")
+	}
+	if _, err := NewScenario(WithChaos("outage:2")); err == nil {
+		t.Error("out-of-range outage rate accepted")
+	}
 }
 
 func TestNewPolicyAllNames(t *testing.T) {
