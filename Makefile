@@ -2,9 +2,9 @@
 
 GO ?= go
 # PR number stamped into the benchmark-trajectory file (BENCH_$(PR).json).
-PR ?= 2
+PR ?= 4
 
-.PHONY: all build test test-short vet race bench bench-json figures examples fuzz chaos clean
+.PHONY: all build test test-short vet race bench bench-json figures examples fuzz chaos mecstat-smoke clean
 
 all: build vet test
 
@@ -50,6 +50,16 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json
+
+# End-to-end observability smoke: a 5-policy chaos comparison with regret
+# tracking and the flight recorder, analysed by mecstat (text + JSON).
+mecstat-smoke:
+	$(GO) run ./cmd/mecsim -compare OL_GD,Greedy_GD,Pri_GD,OL_GD/UCB,OL_GD/Thompson \
+		-stations 30 -slots 60 -regret -chaos "regional:0.08:3,feedback:0.1" \
+		-flight /tmp/mecstat-smoke.flight.jsonl
+	$(GO) run ./cmd/mecstat /tmp/mecstat-smoke.flight.jsonl
+	$(GO) run ./cmd/mecstat -json /tmp/mecstat-smoke.flight.jsonl > /tmp/mecstat-smoke.json
+	@echo "mecstat-smoke: OK (artifacts in /tmp/mecstat-smoke.*)"
 
 # Print the paper's figures as tables (repeats=3; raise for tighter curves).
 figures:

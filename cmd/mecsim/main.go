@@ -23,6 +23,15 @@
 //	mecsim -compare OL_GAN,OL_Reg -hidden -summary-json - -sample-runtime
 //	mecsim -fig 3 -pprof localhost:6060 -cpuprofile /tmp/cpu.pprof
 //
+// Live telemetry and the flight recorder (analyse with mecstat):
+//
+//	mecsim -compare OL_GD,Greedy_GD -telemetry-addr localhost:9090
+//	mecsim -compare OL_GD,Greedy_GD -regret -flight /tmp/run.flight.jsonl
+//	mecstat /tmp/run.flight.jsonl
+//
+// All observability sinks are flushed on SIGINT/SIGTERM, so interrupting a
+// long run still leaves analysable artifacts.
+//
 // Observability flags without a mode flag run the quickstart comparison
 // (OL_GD vs Greedy_GD vs Pri_GD) as the instrumented workload.
 package main
@@ -33,6 +42,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
 	"strings"
 
 	"github.com/mecsim/l4e"
@@ -45,6 +58,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mecsim:", err)
 		os.Exit(1)
 	}
+}
+
+// cleanupStack runs registered finalisers exactly once — on normal exit AND
+// on SIGINT/SIGTERM — so trace spans, metric snapshots, and flight records
+// buffered in memory reach disk even when a long run is interrupted.
+type cleanupStack struct {
+	mu   sync.Mutex
+	once sync.Once
+	fns  []func()
+}
+
+// push registers a finaliser; finalisers run in reverse registration order
+// (like defers: close files after flushing the writers layered on them).
+func (c *cleanupStack) push(fn func()) {
+	c.mu.Lock()
+	c.fns = append(c.fns, fn)
+	c.mu.Unlock()
+}
+
+// run executes all finalisers once.
+func (c *cleanupStack) run() {
+	c.once.Do(func() {
+		c.mu.Lock()
+		fns := c.fns
+		c.fns = nil
+		c.mu.Unlock()
+		for i := len(fns) - 1; i >= 0; i-- {
+			fns[i]()
+		}
+	})
+}
+
+// notifyOnSignals flushes the stack and exits on SIGINT/SIGTERM. The
+// returned stop func detaches the handler (normal-exit path).
+func (c *cleanupStack) notifyOnSignals() (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "mecsim: %v: flushing observability sinks\n", sig)
+			c.run()
+			os.Exit(1)
+		case <-done:
+		}
+	}()
+	return func() { signal.Stop(ch); close(done) }
 }
 
 func run(args []string) error {
@@ -76,17 +137,27 @@ func run(args []string) error {
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		heapProfile = fs.String("heapprofile", "", "write a heap profile at exit to this file")
+
+		telemetryAddr = fs.String("telemetry-addr", "", "serve live telemetry on this address: /metrics (Prometheus), /snapshot (JSON), /events (SSE)")
+		flightPath    = fs.String("flight", "", "write the per-slot flight-recorder artifact (JSONL, see mecstat) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// Observability sinks buffer in memory; flush them on SIGINT/SIGTERM too,
+	// so an interrupted run still leaves analysable artifacts on disk.
+	cleanups := &cleanupStack{}
+	defer cleanups.run()
+	stopSignals := cleanups.notifyOnSignals()
+	defer stopSignals()
 
 	if *pprofAddr != "" {
 		srv, url, err := obs.StartPprofServer(*pprofAddr)
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		cleanups.push(func() { srv.Close() })
 		fmt.Fprintf(os.Stderr, "mecsim: pprof listening at %s\n", url)
 	}
 	if *cpuProfile != "" {
@@ -94,16 +165,16 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer func() {
+		cleanups.push(func() {
 			if err := stopCPU(); err != nil {
 				fmt.Fprintln(os.Stderr, "mecsim: stopping CPU profile:", err)
 			}
-		}()
+		})
 	}
 
 	// Build the observer when any observability sink is requested. The trace
 	// file is created up front so a bad path fails before simulating.
-	wantObs := *tracePath != "" || *metricsOut != "" || *summaryJSON != "" || *sampleRT
+	wantObs := *tracePath != "" || *metricsOut != "" || *summaryJSON != "" || *sampleRT || *telemetryAddr != ""
 	var observer *l4e.Observer
 	if wantObs {
 		var tw io.Writer
@@ -112,10 +183,37 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			defer f.Close()
+			cleanups.push(func() { f.Close() })
 			tw = f
 		}
 		observer = l4e.NewObserver(l4e.ObserverOptions{TraceWriter: tw, SampleRuntime: *sampleRT})
+		cleanups.push(func() {
+			if err := observer.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "mecsim: flushing trace:", err)
+			}
+		})
+	}
+	if *telemetryAddr != "" {
+		ts, err := l4e.ServeTelemetry(*telemetryAddr, observer)
+		if err != nil {
+			return err
+		}
+		cleanups.push(func() { ts.Close() })
+		fmt.Fprintf(os.Stderr, "mecsim: telemetry at %s (/metrics /snapshot /events)\n", ts.URL())
+	}
+	var flight *l4e.FlightRecorder
+	if *flightPath != "" {
+		f, err := os.Create(*flightPath)
+		if err != nil {
+			return err
+		}
+		cleanups.push(func() { f.Close() })
+		flight = l4e.NewFlightRecorder(f)
+		cleanups.push(func() {
+			if err := flight.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "mecsim: flushing flight recorder:", err)
+			}
+		})
 	}
 
 	// Human-readable tables move to stderr when the JSON summary claims
@@ -135,6 +233,9 @@ func run(args []string) error {
 		fmt.Println("figures: fig3 fig4 fig5 fig6 fig7")
 		return nil
 	case *fig != 0:
+		if flight != nil {
+			return fmt.Errorf("-flight records -compare runs, not figure sweeps (figures aggregate over topology repeats)")
+		}
 		runErr = runFigure(*fig, l4e.ExperimentConfig{
 			Repeats: *repeats, Slots: *slots, Seed: *seed, SmoothWindow: *smooth,
 			Parallel: *parallel, Observer: observer,
@@ -147,14 +248,14 @@ func run(args []string) error {
 		}
 		results, runErr = runCompare(tableOut, names, compareOpts{
 			stations: *stations, topo: *topo, slots: *slots, seed: *seed,
-			hidden: *hidden, regret: *regret, observer: observer,
+			hidden: *hidden, regret: *regret, observer: observer, flight: flight,
 			chaos: *chaos, chaosSeed: *chaosSeed, solveBudget: *solveBudget,
 		})
-	case wantObs:
+	case wantObs || flight != nil:
 		// Observability flags alone instrument the quickstart comparison.
 		results, runErr = runCompare(tableOut, "OL_GD,Greedy_GD,Pri_GD", compareOpts{
 			stations: *stations, topo: *topo, slots: *slots, seed: *seed,
-			hidden: *hidden, regret: *regret, observer: observer,
+			hidden: *hidden, regret: *regret, observer: observer, flight: flight,
 			solveBudget: *solveBudget,
 		})
 	default:
@@ -330,6 +431,7 @@ type compareOpts struct {
 	hidden      bool
 	regret      bool
 	observer    *l4e.Observer
+	flight      *l4e.FlightRecorder
 	chaos       string
 	chaosSeed   int64
 	solveBudget int
@@ -342,6 +444,7 @@ func runCompare(out io.Writer, names string, o compareOpts) ([]*l4e.Result, erro
 		l4e.WithSlots(o.slots),
 		l4e.WithDemandsGiven(!o.hidden),
 		l4e.WithObserver(o.observer),
+		l4e.WithFlightRecorder(o.flight),
 		l4e.WithChaos(o.chaos),
 		l4e.WithChaosSeed(o.chaosSeed),
 		l4e.WithSolveBudget(o.solveBudget),

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/mecsim/l4e/internal/obs"
+)
+
+// writeArtifact records a synthetic run whose cumulative regret follows cum
+// and whose middle slots carry an injected fault + degradation.
+func writeArtifact(t *testing.T, path, policy string, cum []float64) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec := obs.NewFlightRecorder(f)
+	rec.RecordHeader(obs.FlightHeader{Policy: policy, Slots: len(cum), Stations: 4, Requests: 8, TrackRegret: true, Chaos: true})
+	prev := 0.0
+	for i, c := range cum {
+		slot := obs.FlightSlot{Policy: policy, Slot: i, DelayMS: 1 + 0.1*float64(i%7), DecideMS: 0.2}
+		inst := c - prev
+		cc := c
+		slot.SlotRegretMS = &inst
+		slot.CumRegretMS = &cc
+		prev = c
+		if i >= 10 && i < 13 {
+			slot.FaultsInjected = 2
+			slot.FaultKinds = map[string]int{"outage": 1, "spike": 1}
+			slot.Degraded = true
+			slot.FallbackSolves = 1
+			slot.Solver = "greedy"
+		}
+		rec.RecordSlot(slot)
+	}
+	rec.RecordSummary(obs.FlightSummary{Policy: policy, Slots: len(cum), CumRegretMS: &prev})
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func cumSqrt(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 5 * math.Sqrt(float64(i+1))
+	}
+	return out
+}
+
+func cumLinear(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 2 * float64(i+1)
+	}
+	return out
+}
+
+func TestMecstatVerdictsAndTimeline(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub.jsonl")
+	lin := filepath.Join(dir, "lin.jsonl")
+	writeArtifact(t, sub, "OL_GD", cumSqrt(200))
+	writeArtifact(t, lin, "Greedy_GD", cumLinear(200))
+
+	var buf bytes.Buffer
+	if err := run(&buf, []string{sub, lin}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"OL_GD", "Greedy_GD", "sublinear", "linear", "10-12", "outage=3", "delay distribution", "p50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMecstatJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	writeArtifact(t, path, "OL_GD", cumSqrt(100))
+
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Runs []struct {
+			Policy      string   `json:"policy"`
+			Slots       int      `json:"slots"`
+			CumRegretMS *float64 `json:"cum_regret_ms"`
+			RegretFit   *struct {
+				Verdict string `json:"verdict"`
+			} `json:"regret_fit"`
+			Degradation struct {
+				FaultsByKind map[string]int `json:"faults_by_kind"`
+			} `json:"degradation"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &payload); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(payload.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(payload.Runs))
+	}
+	r := payload.Runs[0]
+	if r.Policy != "OL_GD" || r.Slots != 100 {
+		t.Errorf("run = %+v", r)
+	}
+	if r.RegretFit == nil || r.RegretFit.Verdict != "sublinear" {
+		t.Errorf("regret fit = %+v, want sublinear", r.RegretFit)
+	}
+	if r.Degradation.FaultsByKind["outage"] != 3 {
+		t.Errorf("faults by kind = %v", r.Degradation.FaultsByKind)
+	}
+}
+
+func TestMecstatErrors(t *testing.T) {
+	if err := run(io.Discard, nil); err == nil {
+		t.Error("expected an error with no artifacts")
+	}
+	if err := run(io.Discard, []string{"-bogus"}); err == nil {
+		t.Error("expected an error for an unknown flag")
+	}
+	if err := run(io.Discard, []string{filepath.Join(t.TempDir(), "missing.jsonl")}); err == nil {
+		t.Error("expected an error for a missing file")
+	}
+}
+
+func TestFitRegretZero(t *testing.T) {
+	f := fitRegret(make([]float64, 50))
+	if f.Verdict != "zero" {
+		t.Errorf("verdict = %q, want zero", f.Verdict)
+	}
+}

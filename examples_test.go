@@ -1,7 +1,9 @@
 package l4e
 
 import (
+	"encoding/json"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -34,5 +36,58 @@ func TestExamplesBuildAndRun(t *testing.T) {
 				t.Fatalf("examples/%s produced no output", name)
 			}
 		})
+	}
+}
+
+// TestMecstatSmoke is `make mecstat-smoke` as a test: a 5-policy chaos
+// comparison with regret tracking writes a flight artifact, and mecstat must
+// report per-policy cumulative regret, convergence verdicts, and the
+// degradation timeline from it.
+func TestMecstatSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mecstat smoke test skipped in -short mode")
+	}
+	flight := filepath.Join(t.TempDir(), "smoke.flight.jsonl")
+	sim := exec.Command("go", "run", "./cmd/mecsim",
+		"-compare", "OL_GD,Greedy_GD,Pri_GD,OL_GD/UCB,OL_GD/Thompson",
+		"-stations", "30", "-slots", "40", "-regret",
+		"-chaos", "regional:0.08:3,feedback:0.1",
+		"-flight", flight)
+	if out, err := sim.CombinedOutput(); err != nil {
+		t.Fatalf("mecsim: %v\n%s", err, out)
+	}
+	out, err := exec.Command("go", "run", "./cmd/mecstat", flight).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mecstat: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"OL_GD", "Greedy_GD", "Pri_GD", "OL_GD/UCB", "OL_GD/Thompson",
+		"regret convergence", "delay distribution", "degradation timeline",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("mecstat output missing %q:\n%s", want, text)
+		}
+	}
+	jsonOut, err := exec.Command("go", "run", "./cmd/mecstat", "-json", flight).Output()
+	if err != nil {
+		t.Fatalf("mecstat -json: %v", err)
+	}
+	var payload struct {
+		Runs []struct {
+			Policy      string   `json:"policy"`
+			CumRegretMS *float64 `json:"cum_regret_ms"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(jsonOut, &payload); err != nil {
+		t.Fatalf("mecstat -json produced invalid JSON: %v\n%s", err, jsonOut)
+	}
+	if len(payload.Runs) != 5 {
+		t.Fatalf("mecstat -json reported %d runs, want 5", len(payload.Runs))
+	}
+	for _, r := range payload.Runs {
+		if r.CumRegretMS == nil {
+			t.Errorf("run %s has no cumulative regret", r.Policy)
+		}
 	}
 }

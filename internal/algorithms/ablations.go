@@ -100,7 +100,7 @@ func (x *IndexOLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 		return nil, err
 	}
 	view.reportSolve(frac.Stats)
-	recordSolve(x.observer, frac.Stats)
+	recordSolve(x.observer, x.Name(), frac.Stats)
 	a := &caching.Assignment{BS: make([]int, len(p.Requests))}
 	for l := range p.Requests {
 		best, bestX := 0, -1.0
@@ -126,10 +126,26 @@ func (x *IndexOLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 
 // Observe implements Policy.
 func (x *IndexOLGD) Observe(ob *Observation) {
+	labeled := x.observer.Enabled()
 	for i, d := range ob.PlayedDelays {
-		x.arms.Observe(i, d)
+		if x.arms.Observe(i, d) && labeled {
+			x.observer.IncL("bandit.pulls", obs.L("arm", armLabel(i))...)
+		}
 	}
 	x.observer.Add("bandit.observations", int64(len(ob.PlayedDelays)))
 }
 
-var _ Policy = (*IndexOLGD)(nil)
+// BanditState implements BanditReporter. Index policies have no explicit
+// epsilon (exploration is implicit in the optimistic indices), so HasEpsilon
+// is false and Explored never fires.
+func (x *IndexOLGD) BanditState() *BanditState {
+	return &BanditState{
+		Pulls: x.arms.Counts(),
+		Means: x.arms.Means(),
+	}
+}
+
+var (
+	_ Policy         = (*IndexOLGD)(nil)
+	_ BanditReporter = (*IndexOLGD)(nil)
+)

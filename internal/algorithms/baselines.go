@@ -326,7 +326,7 @@ func (o *Oracle) Decide(view *SlotView) (*caching.Assignment, error) {
 		return nil, err
 	}
 	view.reportSolve(frac.Stats)
-	recordSolve(o.observer, frac.Stats)
+	recordSolve(o.observer, o.Name(), frac.Stats)
 	// Deterministic rounding: argmax x*_li per request, then repair.
 	a := &caching.Assignment{BS: make([]int, len(p.Requests))}
 	for l := range p.Requests {

@@ -74,6 +74,10 @@ type OLGD struct {
 	// ws carries solver state (graph/tableau/scratch) across slots; nil when
 	// cfg.FreshSolves asks for the allocate-per-slot reference behaviour.
 	ws *caching.Workspace
+	// lastEps/lastExplored snapshot the most recent Decide's epsilon_t-greedy
+	// branch for BanditState (the flight recorder reads it once per slot).
+	lastEps      float64
+	lastExplored bool
 }
 
 // NewOLGD builds the policy.
@@ -137,13 +141,15 @@ func (o *OLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 		return nil, fmt.Errorf("algorithms: OLGD slot %d: %w", view.T, err)
 	}
 	view.reportSolve(frac.Stats)
-	recordSolve(o.observer, frac.Stats)
+	recordSolve(o.observer, o.name, frac.Stats)
 	candidates := p.Candidates(frac, o.cfg.Gamma)
 
 	// Lines 5-9: epsilon_t-greedy over the candidate sets.
 	eps := o.cfg.Schedule.Epsilon(view.T + 1)
 	var a *caching.Assignment
 	exploit := o.rng.Float64() < 1-eps
+	o.lastEps = eps
+	o.lastExplored = !exploit
 	if exploit {
 		a = sampleFromCandidates(p, frac, candidates, o.rng)
 	} else {
@@ -185,10 +191,27 @@ func (o *OLGD) Decide(view *SlotView) (*caching.Assignment, error) {
 
 // Observe implements Policy (Algorithm 1, lines 10-11).
 func (o *OLGD) Observe(ob *Observation) {
+	labeled := o.observer.Enabled()
 	for i, d := range ob.PlayedDelays {
-		o.arms.Observe(i, d)
+		if o.arms.Observe(i, d) && labeled {
+			o.observer.IncL("bandit.pulls", obs.L("arm", armLabel(i))...)
+		}
 	}
 	o.observer.Add("bandit.observations", int64(len(ob.PlayedDelays)))
 }
 
-var _ Policy = (*OLGD)(nil)
+// BanditState implements BanditReporter for the flight recorder.
+func (o *OLGD) BanditState() *BanditState {
+	return &BanditState{
+		Epsilon:    o.lastEps,
+		HasEpsilon: true,
+		Explored:   o.lastExplored,
+		Pulls:      o.arms.Counts(),
+		Means:      o.arms.Means(),
+	}
+}
+
+var (
+	_ Policy         = (*OLGD)(nil)
+	_ BanditReporter = (*OLGD)(nil)
+)

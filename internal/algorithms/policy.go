@@ -20,6 +20,7 @@ package algorithms
 
 import (
 	"math/rand"
+	"strconv"
 
 	"github.com/mecsim/l4e/internal/caching"
 	"github.com/mecsim/l4e/internal/obs"
@@ -125,19 +126,51 @@ type ObserverSetter interface {
 	SetObserver(*obs.Observer)
 }
 
+// BanditState is a point-in-time view of a learning policy's exploration
+// state, snapshotted once per slot by the flight recorder: Theorem 1's
+// convergence claim is about exactly these trajectories (exploration decay,
+// per-arm coverage, estimate drift), so they must be observable per slot, not
+// reconstructed from aggregates.
+type BanditState struct {
+	// Epsilon is the exploration probability used by the most recent Decide;
+	// HasEpsilon distinguishes a true 0 from "not an epsilon-greedy policy"
+	// (index ablations explore implicitly through optimistic indices).
+	Epsilon    float64
+	HasEpsilon bool
+	// Explored reports whether the most recent Decide took the exploration
+	// branch (Algorithm 1 line 9).
+	Explored bool
+	// Pulls and Means are the learner's per-station observation counts and
+	// mean delay estimates (copies; safe to retain).
+	Pulls []int
+	Means []float64
+}
+
+// BanditReporter is implemented by policies whose per-slot learner state the
+// flight recorder should capture.
+type BanditReporter interface {
+	BanditState() *BanditState
+}
+
+// armLabel renders station i as a metric label value ("bs3").
+func armLabel(i int) string { return "bs" + strconv.Itoa(i) }
+
 // SolverCountBuckets are histogram bounds for solver iteration counts
 // (simplex pivots, flow augmentations) — integer effort, not latency.
 var SolverCountBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 
 // recordSolve publishes one LP-relaxation solve's effort to the observer:
 // which backend the size-dispatch picked (the min-cost-flow fast path vs the
-// exact simplex) and how hard it worked.
-func recordSolve(o *obs.Observer, stats caching.SolveStats) {
+// exact simplex) and how hard it worked. Alongside the legacy unlabeled
+// totals it emits labeled series keyed by the emitting policy and the solver
+// tier, so a telemetry scrape can tell whose solves degraded where.
+func recordSolve(o *obs.Observer, policy string, stats caching.SolveStats) {
 	if !o.Enabled() {
 		return
 	}
 	o.Inc("lp.solves")
 	o.Inc("lp.solves." + string(stats.Solver))
+	o.IncL("lp.solves_by", obs.L("policy", policy, "solver", string(stats.Solver))...)
 	o.ObserveWith("lp.iterations", SolverCountBuckets, float64(stats.Iterations))
 	if stats.Phase1Iterations > 0 {
 		o.ObserveWith("lp.phase1_iterations", SolverCountBuckets, float64(stats.Phase1Iterations))
@@ -155,6 +188,8 @@ func recordSolve(o *obs.Observer, stats caching.SolveStats) {
 	}
 	if stats.Fallbacks > 0 {
 		o.Add("solve.fallbacks", int64(stats.Fallbacks))
+		o.AddL("solve.fallbacks_by", int64(stats.Fallbacks),
+			obs.L("policy", policy, "tier", string(stats.Solver))...)
 	}
 }
 

@@ -78,6 +78,9 @@ func (o *OLReg) Observe(obs *Observation) {
 	}
 }
 
+// BanditState implements BanditReporter (forwarded to the inner OL_GD).
+func (o *OLReg) BanditState() *BanditState { return o.inner.BanditState() }
+
 // OLGANConfig parameterises Algorithm 2 (OL_GAN).
 type OLGANConfig struct {
 	// OLGD configures the inner online-learning policy.
@@ -353,7 +356,12 @@ func (o *OLGAN) retrain() error {
 	return nil
 }
 
+// BanditState implements BanditReporter (forwarded to the inner OL_GD).
+func (o *OLGAN) BanditState() *BanditState { return o.inner.BanditState() }
+
 var (
-	_ Policy = (*OLReg)(nil)
-	_ Policy = (*OLGAN)(nil)
+	_ Policy         = (*OLReg)(nil)
+	_ Policy         = (*OLGAN)(nil)
+	_ BanditReporter = (*OLReg)(nil)
+	_ BanditReporter = (*OLGAN)(nil)
 )

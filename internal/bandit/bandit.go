@@ -92,6 +92,14 @@ func (a *Arms) Means() []float64 {
 // Count returns m_i, the number of observations of arm i.
 func (a *Arms) Count(i int) int { return a.count[i] }
 
+// Counts returns a copy of all per-arm observation counts (the flight
+// recorder snapshots these each slot alongside Means).
+func (a *Arms) Counts() []int {
+	out := make([]int, len(a.count))
+	copy(out, a.count)
+	return out
+}
+
 // Variance returns the sample variance of arm i (0 with < 2 observations).
 func (a *Arms) Variance(i int) float64 {
 	if a.count[i] < 2 {

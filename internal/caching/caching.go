@@ -177,6 +177,10 @@ type SolveStats struct {
 	// budget ran out) as opposed to infeasibility — distinguishable so callers
 	// can tell "needs more budget" from "needs load shedding".
 	IterLimited bool
+	// Attempts lists the ladder rungs tried in order, the successful one last
+	// (a single entry when the primary backend solved it). Populated by
+	// SolveLPLadderWS; direct backend calls leave it nil.
+	Attempts []SolverKind
 }
 
 // Fractional is a (possibly fractional) solution to the LP relaxation.
@@ -606,18 +610,27 @@ func (p *Problem) SolveLPLadderWS(ws *Workspace) (*Fractional, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	exactScale := len(p.Requests)*p.NumStations <= _exactVarLimit
+	primary := SolverFlow
+	if exactScale {
+		primary = SolverSimplex
+	}
 	frac, err := p.SolveLPWS(ws)
 	if err == nil {
+		frac.Stats.Attempts = []SolverKind{primary}
 		return frac, nil
 	}
+	attempts := []SolverKind{primary}
 	fallbacks := 1
 	iterLimited := errors.Is(err, ErrIterLimit)
 	// The flow rung only adds anything when the primary backend was the exact
 	// simplex; at flow scale the primary attempt already was the flow solver.
-	if len(p.Requests)*p.NumStations <= _exactVarLimit {
+	if exactScale {
+		attempts = append(attempts, SolverFlow)
 		if frac, err = p.SolveLPFlowWS(ws); err == nil {
 			frac.Stats.Fallbacks = fallbacks
 			frac.Stats.IterLimited = iterLimited
+			frac.Stats.Attempts = attempts
 			return frac, nil
 		}
 		fallbacks++
@@ -625,6 +638,7 @@ func (p *Problem) SolveLPLadderWS(ws *Workspace) (*Fractional, error) {
 	frac = p.solveGreedyWS(ws)
 	frac.Stats.Fallbacks = fallbacks
 	frac.Stats.IterLimited = iterLimited
+	frac.Stats.Attempts = append(attempts, SolverGreedy)
 	return frac, nil
 }
 

@@ -43,6 +43,11 @@ type Effect struct {
 	// Injected counts the fault events injected this slot (outage/brownout/
 	// spike/surge onsets and per-station feedback faults).
 	Injected int
+	// ByKind attributes Injected to the injector that contributed each event,
+	// keyed by Injector.Name(). Populated by Schedule.Apply; nil on slots with
+	// no injections. Like the Effect itself, the map is reused across slots —
+	// copy it to retain it past the next Apply.
+	ByKind map[string]int
 }
 
 func newEffect(n int) *Effect {
@@ -64,6 +69,9 @@ func (e *Effect) reset() {
 	}
 	e.DemandFactor = 1
 	e.Injected = 0
+	for k := range e.ByKind {
+		delete(e.ByKind, k)
+	}
 }
 
 // Active reports whether the slot carries any fault at all.
@@ -157,7 +165,14 @@ func (s *Schedule) Reset() {
 func (s *Schedule) Apply(t int) *Effect {
 	s.eff.reset()
 	for _, inj := range s.injs {
+		before := s.eff.Injected
 		inj.Apply(t, s.eff)
+		if d := s.eff.Injected - before; d > 0 {
+			if s.eff.ByKind == nil {
+				s.eff.ByKind = make(map[string]int)
+			}
+			s.eff.ByKind[inj.Name()] += d
+		}
 	}
 	return s.eff
 }

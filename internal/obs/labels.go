@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Label is one key=value pair attached to a metric series. Labeled series
+// with the same base name but different label sets are independent series:
+// solve.fallbacks{policy="OL_GD",tier="flow"} and
+// solve.fallbacks{policy="Oracle",tier="simplex"} count separately.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L builds a label list from alternating key/value strings:
+//
+//	obs.L("policy", "OL_GD", "tier", "flow")
+//
+// A trailing key without a value is paired with the empty string rather than
+// panicking (metrics must never take a run down).
+func L(kv ...string) []Label {
+	out := make([]Label, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		l := Label{Key: kv[i]}
+		if i+1 < len(kv) {
+			l.Value = kv[i+1]
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// seriesKey builds the canonical identity of a labeled series:
+// name{k1="v1",k2="v2"} with keys sorted, values escaped. The encoding is
+// stable (label order at the call site does not matter), so snapshots order
+// deterministically, and it doubles as the Prometheus-exposition form of the
+// label set. An empty label list yields the bare name.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.Grow(len(name) + 16*len(ls))
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text exposition
+// rules: backslash, double-quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitSeriesKey is the inverse of seriesKey at the granularity the
+// exposition writer needs: the base name and the raw (already escaped)
+// key="value" list, empty for unlabeled series.
+func splitSeriesKey(key string) (name, rawLabels string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key, ""
+	}
+	return key[:i], strings.TrimSuffix(key[i+1:], "}")
+}
+
+// CounterL returns the counter with the given name and label set, creating
+// it on first use. The returned handle can be retained to skip the
+// key-encoding cost on hot paths.
+func (r *Registry) CounterL(name string, labels ...Label) *Counter {
+	return r.Counter(seriesKey(name, labels))
+}
+
+// GaugeL returns the gauge with the given name and label set.
+func (r *Registry) GaugeL(name string, labels ...Label) *Gauge {
+	return r.Gauge(seriesKey(name, labels))
+}
+
+// HistogramL returns the histogram with the given name and label set,
+// creating it with the given bucket bounds on first use (nil bounds =
+// DefaultLatencyBuckets).
+func (r *Registry) HistogramL(name string, bounds []float64, labels ...Label) *Histogram {
+	return r.Histogram(seriesKey(name, labels), bounds)
+}

@@ -3,6 +3,8 @@ package obs
 import (
 	"io"
 	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Options configures an Observer.
@@ -24,6 +26,59 @@ type Observer struct {
 	reg           *Registry
 	tracer        *Tracer
 	sampleRuntime bool
+	hub           eventHub
+}
+
+// eventHub fans trace events out to live subscribers (the telemetry server's
+// /events SSE stream). Publishing is skipped entirely while no subscriber is
+// attached — the common case costs one atomic load per Emit — and never
+// blocks: a subscriber that falls behind loses events rather than stalling
+// the simulation.
+type eventHub struct {
+	mu     sync.Mutex
+	subs   map[int]chan Event
+	nextID int
+	active atomic.Int32
+	// dropped counts events lost to full subscriber buffers.
+	dropped atomic.Int64
+}
+
+func (h *eventHub) subscribe(buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 256
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.subs == nil {
+		h.subs = make(map[int]chan Event)
+	}
+	id := h.nextID
+	h.nextID++
+	ch := make(chan Event, buf)
+	h.subs[id] = ch
+	h.active.Add(1)
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.subs, id)
+			h.mu.Unlock()
+			h.active.Add(-1)
+		})
+	}
+	return ch, cancel
+}
+
+func (h *eventHub) publish(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			h.dropped.Add(1)
+		}
+	}
 }
 
 // New builds an enabled observer.
@@ -41,9 +96,32 @@ func Nop() *Observer { return nil }
 // Enabled reports whether the observer collects anything.
 func (o *Observer) Enabled() bool { return o != nil }
 
-// TraceEnabled reports whether trace events are being recorded. Callers use
-// it to skip building Fields maps when tracing is off.
-func (o *Observer) TraceEnabled() bool { return o != nil && o.tracer != nil }
+// TraceEnabled reports whether trace events are being consumed — by the
+// JSONL tracer, a live /events subscriber, or both. Callers use it to skip
+// building Fields maps when nothing listens.
+func (o *Observer) TraceEnabled() bool {
+	return o != nil && (o.tracer != nil || o.hub.active.Load() > 0)
+}
+
+// Subscribe attaches a live event subscriber (the telemetry server's SSE
+// stream). Events emitted after the call are delivered on the returned
+// channel; a subscriber that falls behind its buffer loses events rather than
+// stalling producers. The cancel function detaches the subscriber and is safe
+// to call more than once. On a nil observer both returns are nil.
+func (o *Observer) Subscribe(buf int) (<-chan Event, func()) {
+	if o == nil {
+		return nil, func() {}
+	}
+	return o.hub.subscribe(buf)
+}
+
+// EventsDropped counts events lost to slow live subscribers.
+func (o *Observer) EventsDropped() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.hub.dropped.Load()
+}
 
 // Registry exposes the underlying registry (nil when disabled).
 func (o *Observer) Registry() *Registry {
@@ -94,13 +172,56 @@ func (o *Observer) ObserveWith(name string, bounds []float64, v float64) {
 	o.reg.Histogram(name, bounds).Observe(v)
 }
 
-// Emit appends a trace event (dropped when tracing is disabled). Callers on
-// hot paths should guard with TraceEnabled to avoid building the Fields map.
-func (o *Observer) Emit(ev Event) {
-	if o == nil || o.tracer == nil {
+// IncL increments the counter with the given name and labels, e.g.
+//
+//	ob.IncL("bandit.pulls", obs.L("arm", "bs3"))
+//
+// Label order at the call site does not matter: the series identity is the
+// canonical sorted encoding (see Registry.CounterL).
+func (o *Observer) IncL(name string, labels ...Label) {
+	if o == nil {
 		return
 	}
-	o.tracer.Emit(ev)
+	o.reg.CounterL(name, labels...).Inc()
+}
+
+// AddL adds delta to the labeled counter.
+func (o *Observer) AddL(name string, delta int64, labels ...Label) {
+	if o == nil {
+		return
+	}
+	o.reg.CounterL(name, labels...).Add(delta)
+}
+
+// SetL sets the labeled gauge.
+func (o *Observer) SetL(name string, v float64, labels ...Label) {
+	if o == nil {
+		return
+	}
+	o.reg.GaugeL(name, labels...).Set(v)
+}
+
+// ObserveL records v in the labeled histogram (DefaultLatencyBuckets bounds).
+func (o *Observer) ObserveL(name string, v float64, labels ...Label) {
+	if o == nil {
+		return
+	}
+	o.reg.HistogramL(name, nil, labels...).Observe(v)
+}
+
+// Emit appends a trace event to the JSONL tracer (when configured) and fans
+// it out to live subscribers (when any). Callers on hot paths should guard
+// with TraceEnabled to avoid building the Fields map.
+func (o *Observer) Emit(ev Event) {
+	if o == nil {
+		return
+	}
+	if o.tracer != nil {
+		o.tracer.Emit(ev)
+	}
+	if o.hub.active.Load() > 0 {
+		o.hub.publish(ev)
+	}
 }
 
 // Snapshot freezes the current metrics (zero value when disabled).

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promName sanitises a series base name into a valid Prometheus metric name:
+// dots (the registry's namespace separator) and any other illegal rune become
+// underscores, and a leading digit is prefixed.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !valid {
+			if r >= '0' && r <= '9' { // leading digit
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promFloat renders a float64 the way the exposition format expects.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeries is one series prepared for exposition: sanitised family name
+// plus the raw (pre-escaped) label list from the canonical series key.
+type promSeries struct {
+	family string
+	labels string // `k="v",...` or ""
+	key    string // original snapshot key, for value lookup
+}
+
+// collectSeries sorts the snapshot keys and splits them into family/labels.
+// Sorting the canonical keys groups every family's series together and makes
+// the exposition deterministic.
+func collectSeries(m map[string]struct{}) []promSeries {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]promSeries, len(keys))
+	for i, k := range keys {
+		name, labels := splitSeriesKey(k)
+		out[i] = promSeries{family: promName(name), labels: labels, key: k}
+	}
+	return out
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative _bucket/_sum/_count families with an `le` label merged into
+// any series labels. Series order is deterministic (sorted canonical keys),
+// and each family's # TYPE header is emitted exactly once.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	typed := map[string]bool{}
+	header := func(family, kind string) string {
+		if typed[family] {
+			return ""
+		}
+		typed[family] = true
+		return fmt.Sprintf("# TYPE %s %s\n", family, kind)
+	}
+	braced := func(labels string) string {
+		if labels == "" {
+			return ""
+		}
+		return "{" + labels + "}"
+	}
+
+	keySet := func(n int) map[string]struct{} { return make(map[string]struct{}, n) }
+
+	counters := keySet(len(s.Counters))
+	for k := range s.Counters {
+		counters[k] = struct{}{}
+	}
+	for _, ps := range collectSeries(counters) {
+		if _, err := fmt.Fprintf(w, "%s%s%s %d\n",
+			header(ps.family, "counter"), ps.family, braced(ps.labels), s.Counters[ps.key]); err != nil {
+			return err
+		}
+	}
+
+	gauges := keySet(len(s.Gauges))
+	for k := range s.Gauges {
+		gauges[k] = struct{}{}
+	}
+	for _, ps := range collectSeries(gauges) {
+		if _, err := fmt.Fprintf(w, "%s%s%s %s\n",
+			header(ps.family, "gauge"), ps.family, braced(ps.labels), promFloat(s.Gauges[ps.key])); err != nil {
+			return err
+		}
+	}
+
+	hists := keySet(len(s.Histograms))
+	for k := range s.Histograms {
+		hists[k] = struct{}{}
+	}
+	for _, ps := range collectSeries(hists) {
+		h := s.Histograms[ps.key]
+		if _, err := io.WriteString(w, header(ps.family, "histogram")); err != nil {
+			return err
+		}
+		le := func(bound string) string {
+			if ps.labels == "" {
+				return `{le="` + bound + `"}`
+			}
+			return "{" + ps.labels + `,le="` + bound + `"}`
+		}
+		var cum int64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", ps.family, le(promFloat(bound)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", ps.family, le("+Inf"), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", ps.family, braced(ps.labels), promFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", ps.family, braced(ps.labels), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

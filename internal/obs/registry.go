@@ -60,10 +60,13 @@ type Histogram struct {
 }
 
 // DefaultLatencyBuckets are the histogram bounds used by Observer.Observe
-// when no explicit bounds were registered: millisecond-scale latencies from
-// sub-0.1ms fast paths to multi-second solver stalls.
+// when no explicit bounds were registered. They span the delay scales the
+// simulator actually produces — microsecond decide fast paths, sub-millisecond
+// flow solves, millisecond slot delays, multi-second solver stalls — so the
+// sub-millisecond mass is resolved instead of piling into one bottom bucket.
 var DefaultLatencyBuckets = []float64{
-	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -179,6 +182,47 @@ type HistogramSnapshot struct {
 	// Counts[i] pairs with Bounds[i]; the final extra entry is the overflow
 	// bucket (> Bounds[len-1]).
 	Counts []int64 `json:"counts"`
+}
+
+// Quantile estimates the q-th percentile (0..100) from the bucket counts by
+// linear interpolation inside the holding bucket. The estimate is exact at
+// bucket edges: a rank landing exactly on a bucket's cumulative count returns
+// that bucket's upper bound, not a value bled into the next bucket. Values in
+// the overflow bucket cannot be interpolated and report the highest finite
+// bound. Returns NaN for an empty histogram or q outside [0,100].
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || q < 0 || q > 100 || len(h.Counts) == 0 {
+		return math.NaN()
+	}
+	// Rank of the target observation, 1-based; q=0 is the first observation.
+	rank := q / 100 * float64(h.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			// Overflow bucket: unbounded above, report its lower edge.
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.Bounds[i-1]
+		}
+		upper := h.Bounds[i]
+		frac := (rank - prev) / float64(c)
+		return lower + (upper-lower)*frac
+	}
+	// Unreachable when Count matches the bucket sums; be safe.
+	return h.Bounds[len(h.Bounds)-1]
 }
 
 // Snapshot is a frozen, JSON-serialisable view of a Registry.

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// TelemetryServer exposes a running Observer over HTTP:
+//
+//	/metrics   Prometheus text exposition of the current registry state
+//	/snapshot  the same state as indented JSON (Snapshot schema)
+//	/events    Server-Sent Events stream of trace events as they are emitted
+//
+// The server scrapes live state — it holds no history — so it is useful
+// exactly while a run is in flight; the flight recorder is the post-hoc
+// artifact. Close shuts the listener down; in-flight SSE streams end when
+// their clients disconnect or the server closes.
+type TelemetryServer struct {
+	obs *Observer
+	srv *http.Server
+	lis net.Listener
+}
+
+// ServeTelemetry starts the telemetry server on addr (e.g. "localhost:9090";
+// port 0 picks a free port — read the chosen one back with Addr). The
+// listener is bound synchronously, so a bad address fails here, not in the
+// serve goroutine.
+func ServeTelemetry(addr string, o *Observer) (*TelemetryServer, error) {
+	if o == nil {
+		return nil, fmt.Errorf("obs: telemetry server needs an enabled observer")
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry listen: %w", err)
+	}
+	t := &TelemetryServer{obs: o, lis: lis}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", t.handleMetrics)
+	mux.HandleFunc("/snapshot", t.handleSnapshot)
+	mux.HandleFunc("/events", t.handleEvents)
+	mux.HandleFunc("/", t.handleIndex)
+	t.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go t.srv.Serve(lis) //nolint:errcheck // ErrServerClosed after Close
+	return t, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (t *TelemetryServer) Addr() string { return t.lis.Addr().String() }
+
+// URL returns the server's base URL.
+func (t *TelemetryServer) URL() string { return "http://" + t.Addr() }
+
+// Close stops the server immediately.
+func (t *TelemetryServer) Close() error { return t.srv.Close() }
+
+func (t *TelemetryServer) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "l4e telemetry\n\n/metrics   Prometheus text exposition\n/snapshot  metrics snapshot as JSON\n/events    SSE stream of trace events\n")
+}
+
+func (t *TelemetryServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := t.obs.Snapshot().WritePrometheus(w); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+func (t *TelemetryServer) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = t.obs.Snapshot().WriteJSON(w)
+}
+
+func (t *TelemetryServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch, cancel := t.obs.Subscribe(256)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, data); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}

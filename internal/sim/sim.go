@@ -69,6 +69,12 @@ type Config struct {
 	// path costs one pointer test per call site and leaves per-slot results
 	// bit-identical to an uninstrumented build.
 	Observer *obs.Observer
+	// Flight receives one versioned JSONL record per slot (delay, regret,
+	// exploration state, faults, solve tier) plus a header and summary per
+	// run — the artifact cmd/mecstat analyses. nil disables recording; like
+	// the observer, the recorder only reads simulation state and never
+	// touches the environment RNG, so results stay bit-identical.
+	Flight *obs.FlightRecorder
 }
 
 // Result summarises one policy's run.
@@ -292,6 +298,17 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 			"seed":          r.cfg.Seed,
 		}})
 	}
+	fl := r.cfg.Flight
+	fl.RecordHeader(obs.FlightHeader{
+		Policy:       policy.Name(),
+		Slots:        T,
+		Stations:     r.net.NumStations(),
+		Requests:     len(r.w.Requests),
+		Seed:         r.cfg.Seed,
+		DemandsGiven: r.cfg.DemandsGiven,
+		TrackRegret:  r.cfg.TrackRegret,
+		Chaos:        r.sched != nil,
+	})
 	// Instance set of the previous slot, tracked for cache-churn metrics only
 	// (independent of the WarmCache accounting, which is a charging rule).
 	var obsPrevInst map[[2]int]bool
@@ -313,6 +330,7 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 		// realised delays here; capacity and demand factors are folded into the
 		// slot problems by buildProblem; feedback faults apply at Observe.
 		var eff *faults.Effect
+		var faultKinds map[string]int // copy of eff.ByKind (Effect is reused)
 		if r.sched != nil {
 			eff = r.sched.Apply(t)
 			res.FaultsInjected += eff.Injected
@@ -325,7 +343,20 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 				}
 			}
 			if eff.Injected > 0 {
+				if len(eff.ByKind) > 0 && (ob.Enabled() || fl != nil) {
+					faultKinds = make(map[string]int, len(eff.ByKind))
+					for kind, n := range eff.ByKind {
+						faultKinds[kind] = n
+						ob.AddL("faults.by_kind", int64(n), obs.L("kind", kind)...)
+					}
+				}
 				ob.Add("faults.injected", int64(eff.Injected))
+				if ob.TraceEnabled() {
+					ob.Emit(obs.Event{Slot: t, Name: "fault", Policy: policy.Name(), Fields: obs.Fields{
+						"injected": eff.Injected,
+						"by_kind":  faultKinds,
+					}})
+				}
 			}
 		}
 
@@ -392,20 +423,42 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 		}
 		res.FallbackSolves += deg.FallbackSolves
 		res.RepairViolations += deg.RepairViolations
-		if decideFailed || deg.FallbackSolves > 0 || deg.RepairViolations > 0 {
+		degraded := decideFailed || deg.FallbackSolves > 0 || deg.RepairViolations > 0
+		if degraded {
 			res.DegradedSlots++
 			if ob.Enabled() {
 				ob.Inc("sim.degraded_slots")
 				if deg.RepairViolations > 0 {
 					ob.Add("solve.repairs", int64(deg.RepairViolations))
 				}
+				if ob.TraceEnabled() {
+					ob.Emit(obs.Event{Slot: t, Name: "degraded", Policy: policy.Name(), Fields: obs.Fields{
+						"decide_failed":   decideFailed,
+						"fallback_solves": deg.FallbackSolves,
+						"shed":            deg.RepairViolations,
+						"solver":          string(deg.Solver),
+					}})
+				}
 			}
 		}
+		decideMS := float64(elapsed) / float64(time.Millisecond)
 		res.PerSlotDelayMS = append(res.PerSlotDelayMS, avg)
-		res.PerSlotRuntimeMS = append(res.PerSlotRuntimeMS, float64(elapsed)/float64(time.Millisecond))
+		res.PerSlotRuntimeMS = append(res.PerSlotRuntimeMS, decideMS)
+
+		// Realised-vs-predicted volume error: under demand uncertainty the
+		// policy overwrote view volumes with its predictions at Decide;
+		// evalProblem holds the realised rho_l(t) in the same order.
+		volMAE := math.NaN()
+		if !r.cfg.DemandsGiven && len(evalProblem.Requests) > 0 && (ob.Enabled() || fl != nil) {
+			sum := 0.0
+			for l := range evalProblem.Requests {
+				sum += math.Abs(view.Problem.Requests[l].Volume - evalProblem.Requests[l].Volume)
+			}
+			volMAE = sum / float64(len(evalProblem.Requests))
+			ob.Set("predictor.volume_mae", volMAE)
+		}
 
 		if ob.Enabled() {
-			decideMS := float64(elapsed) / float64(time.Millisecond)
 			ob.Inc("sim.slots")
 			ob.Observe("sim.decide_ms", decideMS)
 			ob.Observe("sim.slot_delay_ms", avg)
@@ -434,19 +487,6 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 			ob.Add("sim.instances_added", int64(added))
 			ob.Add("sim.instances_evicted", int64(evicted))
 			ob.Set("sim.instances_active", float64(len(slotInst)))
-
-			// Realised-vs-predicted volume error: under demand uncertainty the
-			// policy overwrote view volumes with its predictions at Decide;
-			// evalProblem holds the realised rho_l(t) in the same order.
-			volMAE := math.NaN()
-			if !r.cfg.DemandsGiven && len(evalProblem.Requests) > 0 {
-				sum := 0.0
-				for l := range evalProblem.Requests {
-					sum += math.Abs(view.Problem.Requests[l].Volume - evalProblem.Requests[l].Volume)
-				}
-				volMAE = sum / float64(len(evalProblem.Requests))
-				ob.Set("predictor.volume_mae", volMAE)
-			}
 
 			if ob.TraceEnabled() {
 				f := obs.Fields{
@@ -497,6 +537,7 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 			Active:       append([]bool(nil), r.w.Active[t]...),
 		})
 
+		var oracleDelay *float64
 		if oracle != nil {
 			oracle.SetTrueDelays(actual)
 			oview := &algorithms.SlotView{
@@ -519,6 +560,7 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 			if err := res.Regret.Record(avg, oavg); err != nil {
 				return nil, err
 			}
+			oracleDelay = &oavg
 			if ob.Enabled() {
 				ob.Set("sim.cumulative_regret_ms", res.Regret.Cumulative())
 				if ob.TraceEnabled() {
@@ -529,6 +571,49 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 					}})
 				}
 			}
+		}
+
+		if fl != nil {
+			// Recorded at slot END so arm statistics include this slot's
+			// Observe — the trajectories Theorem 1 is about.
+			rec := obs.FlightSlot{
+				Policy:         policy.Name(),
+				Slot:           t,
+				DelayMS:        avg,
+				DecideMS:       decideMS,
+				FaultsInjected: faultCount(eff),
+				FaultKinds:     faultKinds,
+				Solver:         string(deg.Solver),
+				FallbackSolves: deg.FallbackSolves,
+				Shed:           deg.RepairViolations,
+				DecideFailed:   decideFailed,
+				Degraded:       degraded,
+				Overload:       !feasible,
+			}
+			if oracleDelay != nil {
+				reg := avg - *oracleDelay
+				cum := res.Regret.Cumulative()
+				rec.OracleDelayMS = oracleDelay
+				rec.SlotRegretMS = &reg
+				rec.CumRegretMS = &cum
+			}
+			if br, ok := policy.(algorithms.BanditReporter); ok {
+				if st := br.BanditState(); st != nil {
+					if st.HasEpsilon {
+						eps := st.Epsilon
+						explored := st.Explored
+						rec.Epsilon = &eps
+						rec.Explored = &explored
+					}
+					rec.ArmPulls = st.Pulls
+					rec.ArmMeans = st.Means
+				}
+			}
+			if !math.IsNaN(volMAE) {
+				mae := volMAE
+				rec.PredErrMAE = &mae
+			}
+			fl.RecordSlot(rec)
 		}
 	}
 
@@ -546,7 +631,36 @@ func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
 			return nil, fmt.Errorf("sim: flushing trace: %w", err)
 		}
 	}
+	if fl != nil {
+		sum := obs.FlightSummary{
+			Policy:         res.Policy,
+			Slots:          len(res.PerSlotDelayMS),
+			AvgDelayMS:     res.AvgDelayMS,
+			TotalRuntimeMS: res.TotalRuntimeMS,
+			OverloadSlots:  res.OverloadSlots,
+			DegradedSlots:  res.DegradedSlots,
+			FallbackSolves: res.FallbackSolves,
+			DecideFailures: res.DecideFailures,
+			FaultsInjected: res.FaultsInjected,
+		}
+		if res.Regret != nil {
+			cum := res.Regret.Cumulative()
+			sum.CumRegretMS = &cum
+		}
+		fl.RecordSummary(sum)
+		if err := fl.Flush(); err != nil {
+			return nil, fmt.Errorf("sim: flushing flight recorder: %w", err)
+		}
+	}
 	return res, nil
+}
+
+// faultCount returns the slot's injected-fault count (0 for a nil effect).
+func faultCount(eff *faults.Effect) int {
+	if eff == nil {
+		return 0
+	}
+	return eff.Injected
 }
 
 // fallbackAssignment is the simulator's last resort when a policy fails to

@@ -20,6 +20,7 @@ package l4e
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"github.com/mecsim/l4e/internal/algorithms"
@@ -54,7 +55,35 @@ type (
 	MetricsSnapshot = obs.Snapshot
 	// TraceEvent is one JSONL trace span.
 	TraceEvent = obs.Event
+	// Label is one metric label pair (see L).
+	Label = obs.Label
+	// FlightRecorder writes the per-slot JSONL flight artifact analysed by
+	// cmd/mecstat. A nil recorder disables recording.
+	FlightRecorder = obs.FlightRecorder
+	// FlightRun is one decoded flight-artifact run (header, slots, summary).
+	FlightRun = obs.FlightRun
+	// TelemetryServer serves live observer state over HTTP (see ServeTelemetry).
+	TelemetryServer = obs.TelemetryServer
 )
+
+// L builds a label list for the observer's labeled metric methods:
+// o.IncL("bandit.pulls", l4e.L("arm", "bs3")...).
+func L(kv ...string) []Label { return obs.L(kv...) }
+
+// NewFlightRecorder wraps w in a buffered flight recorder; attach it with
+// WithFlightRecorder (or Scenario.Flight) and Flush when done. ReadFlightRuns
+// parses the artifact back.
+func NewFlightRecorder(w io.Writer) *FlightRecorder { return obs.NewFlightRecorder(w) }
+
+// ReadFlightRuns parses a flight-recorder artifact (see NewFlightRecorder).
+func ReadFlightRuns(r io.Reader) ([]FlightRun, error) { return obs.ReadFlightRuns(r) }
+
+// ServeTelemetry starts the live telemetry HTTP server for an observer:
+// /metrics (Prometheus text), /snapshot (JSON), /events (SSE). Addr ":0"
+// picks a free port; Close the returned server when done.
+func ServeTelemetry(addr string, o *Observer) (*TelemetryServer, error) {
+	return obs.ServeTelemetry(addr, o)
+}
 
 // NewObserver builds an enabled observer. Pass it to a scenario with
 // WithObserver (or set Scenario.Observer) to instrument simulation runs:
@@ -121,6 +150,9 @@ type Scenario struct {
 	SolveBudget int
 	// Observer instruments simulation runs (nil disables).
 	Observer *Observer
+	// Flight records per-slot flight-recorder entries for post-hoc analysis
+	// with cmd/mecstat (nil disables).
+	Flight *FlightRecorder
 }
 
 type scenarioConfig struct {
@@ -141,6 +173,7 @@ type scenarioConfig struct {
 	wcfg         WorkloadConfig
 	wcfgSet      bool
 	observer     *Observer
+	flight       *FlightRecorder
 }
 
 // ScenarioOption customises NewScenario.
@@ -247,6 +280,12 @@ func WithObserver(o *Observer) ScenarioOption {
 	return func(c *scenarioConfig) { c.observer = o }
 }
 
+// WithFlightRecorder attaches a flight recorder to the scenario's simulation
+// runs (see NewFlightRecorder). The default is nil: no recording.
+func WithFlightRecorder(fr *FlightRecorder) ScenarioOption {
+	return func(c *scenarioConfig) { c.flight = fr }
+}
+
 // WithWorkloadConfig overrides the workload configuration entirely.
 func WithWorkloadConfig(cfg WorkloadConfig) ScenarioOption {
 	return func(c *scenarioConfig) { c.wcfg = cfg; c.wcfgSet = true }
@@ -316,6 +355,7 @@ func NewScenario(opts ...ScenarioOption) (*Scenario, error) {
 		ChaosSeed:        cfg.chaosSeed,
 		SolveBudget:      cfg.solveBudget,
 		Observer:         cfg.observer,
+		Flight:           cfg.flight,
 	}
 	// Validate the chaos spec at construction time so a typo fails here, not
 	// on the first Run.
@@ -501,6 +541,7 @@ func (s *Scenario) runner(trackRegret bool) (*sim.Runner, error) {
 		Faults:           sched,
 		SolveBudget:      s.SolveBudget,
 		Observer:         s.Observer,
+		Flight:           s.Flight,
 	})
 }
 

@@ -1,21 +1,28 @@
 package l4e
 
 import (
+	"bufio"
 	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
 	"testing"
+	"time"
 
 	"github.com/mecsim/l4e/internal/obs"
 )
 
-func obsTestScenario(t *testing.T, o *Observer) *Scenario {
+func obsTestScenario(t *testing.T, o *Observer, extra ...ScenarioOption) *Scenario {
 	t.Helper()
 	wcfg := WorkloadConfig{
 		NumRequests: 10, NumServices: 3, Horizon: 15, NumClusters: 3,
 		BasicDemandMin: 1, BasicDemandMax: 3, BurstScale: 5,
 		BurstOnProb: 0.1, BurstStayProb: 0.7, CUnit: 40,
 	}
-	s, err := NewScenario(WithStations(15), WithWorkloadConfig(wcfg), WithSlots(15),
-		WithSeed(11), WithObserver(o))
+	opts := append([]ScenarioOption{WithStations(15), WithWorkloadConfig(wcfg),
+		WithSlots(15), WithSeed(11), WithObserver(o)}, extra...)
+	s, err := NewScenario(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,30 +30,49 @@ func obsTestScenario(t *testing.T, o *Observer) *Scenario {
 }
 
 // TestObserverDisabledIsBitIdentical is the no-observer determinism guard:
-// attaching an observer must not perturb the simulation (instrumentation is
-// read-only and consumes no randomness), so per-slot delays are bit-identical
-// with and without it.
+// attaching an observer — and now a flight recorder — must not perturb the
+// simulation (instrumentation is read-only and consumes no randomness), so
+// per-slot delays are bit-identical with and without them.
 func TestObserverDisabledIsBitIdentical(t *testing.T) {
-	run := func(o *Observer) []*Result {
-		results, err := obsTestScenario(t, o).Compare("OL_GD", "Greedy_GD", "Pri_GD")
+	run := func(o *Observer, extra ...ScenarioOption) []*Result {
+		results, err := obsTestScenario(t, o, extra...).Compare("OL_GD", "Greedy_GD", "Pri_GD")
 		if err != nil {
 			t.Fatal(err)
 		}
 		return results
 	}
-	var buf bytes.Buffer
-	plain := run(nil)
-	traced := run(NewObserver(ObserverOptions{TraceWriter: &buf}))
-	for i := range plain {
-		for tt, d := range plain[i].PerSlotDelayMS {
-			if traced[i].PerSlotDelayMS[tt] != d {
-				t.Fatalf("%s slot %d: %x (plain) != %x (observed)",
-					plain[i].Policy, tt, d, traced[i].PerSlotDelayMS[tt])
+	check := func(label string, plain, observed []*Result) {
+		t.Helper()
+		for i := range plain {
+			for tt, d := range plain[i].PerSlotDelayMS {
+				if observed[i].PerSlotDelayMS[tt] != d {
+					t.Fatalf("%s: %s slot %d: %x (plain) != %x (observed)",
+						label, plain[i].Policy, tt, d, observed[i].PerSlotDelayMS[tt])
+				}
 			}
 		}
 	}
+	var buf bytes.Buffer
+	plain := run(nil)
+	traced := run(NewObserver(ObserverOptions{TraceWriter: &buf}))
+	check("tracer", plain, traced)
 	if buf.Len() == 0 {
 		t.Fatal("observed run emitted no trace events")
+	}
+
+	var fbuf bytes.Buffer
+	fr := NewFlightRecorder(&fbuf)
+	recorded := run(NewObserver(ObserverOptions{}), WithFlightRecorder(fr))
+	check("flight", plain, recorded)
+	if err := fr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := ReadFlightRuns(bytes.NewReader(fbuf.Bytes()))
+	if err != nil {
+		t.Fatalf("flight artifact does not parse: %v", err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("flight artifact holds %d runs, want 3 (one per compared policy)", len(runs))
 	}
 }
 
@@ -133,5 +159,155 @@ func TestObserverSharedAcrossParallelRepeats(t *testing.T) {
 	}
 	if _, err := obs.DecodeEvents(&buf); err != nil {
 		t.Fatalf("interleaved trace stream is not valid JSONL: %v", err)
+	}
+}
+
+// TestObserverFlightArtifact runs a regret-tracked OL_GD scenario with only a
+// flight recorder attached (no observer — the recorder must work standalone)
+// and checks the artifact carries the per-slot learner and regret state that
+// cmd/mecstat consumes.
+func TestObserverFlightArtifact(t *testing.T) {
+	var fbuf bytes.Buffer
+	fr := NewFlightRecorder(&fbuf)
+	s := obsTestScenario(t, nil, WithFlightRecorder(fr))
+	p, err := s.NewPolicy("OL_GD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunWithRegret(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := ReadFlightRuns(bytes.NewReader(fbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	run := runs[0]
+	h := run.Header
+	if h.Policy != "OL_GD" || h.Slots != 15 || h.Stations != 15 || !h.TrackRegret {
+		t.Errorf("header = %+v", h)
+	}
+	if len(run.Slots) != 15 {
+		t.Fatalf("artifact holds %d slot records, want 15", len(run.Slots))
+	}
+	for _, slot := range run.Slots {
+		if slot.Epsilon == nil || slot.Explored == nil {
+			t.Fatalf("slot %d missing bandit exploration state: %+v", slot.Slot, slot)
+		}
+		if len(slot.ArmPulls) != 15 || len(slot.ArmMeans) != 15 {
+			t.Fatalf("slot %d arm stats have %d/%d entries, want 15 each",
+				slot.Slot, len(slot.ArmPulls), len(slot.ArmMeans))
+		}
+		if slot.CumRegretMS == nil || slot.OracleDelayMS == nil {
+			t.Fatalf("slot %d missing regret fields: %+v", slot.Slot, slot)
+		}
+		if slot.Solver == "" {
+			t.Errorf("slot %d missing solve-ladder tier", slot.Slot)
+		}
+	}
+	if run.Summary == nil {
+		t.Fatal("artifact missing the closing summary")
+	}
+	if run.Summary.CumRegretMS == nil || res.Regret == nil {
+		t.Fatal("summary or result missing cumulative regret")
+	}
+	last := run.Slots[len(run.Slots)-1]
+	if *run.Summary.CumRegretMS != *last.CumRegretMS {
+		t.Errorf("summary regret %g != final slot regret %g",
+			*run.Summary.CumRegretMS, *last.CumRegretMS)
+	}
+}
+
+// TestObserverTelemetryEndpoints serves a populated observer over HTTP and
+// checks the three endpoints: Prometheus exposition with the labeled bandit
+// series, the JSON snapshot, and the live SSE event stream.
+func TestObserverTelemetryEndpoints(t *testing.T) {
+	o := NewObserver(ObserverOptions{})
+	s := obsTestScenario(t, o)
+	p, err := s.NewPolicy("OL_GD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(p); err != nil {
+		t.Fatal(err)
+	}
+
+	ts, err := ServeTelemetry("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body bytes.Buffer
+		if _, err := body.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return body.String(), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ct := get("/metrics")
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q, want Prometheus 0.0.4", ct)
+	}
+	for _, want := range []string{"sim_slots 15", `bandit_pulls{arm="`, "# TYPE sim_decide_ms histogram"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	snapBody, _ := get("/snapshot")
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(snapBody), &snap); err != nil {
+		t.Fatalf("/snapshot is not valid JSON: %v", err)
+	}
+	if snap.Counters["sim.slots"] != 15 {
+		t.Errorf("/snapshot sim.slots = %d, want 15", snap.Counters["sim.slots"])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL()+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// The subscriber is attached once headers arrive, so a second run's
+	// events stream to the client.
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Run(p)
+		done <- err
+	}()
+	sc := bufio.NewScanner(resp.Body)
+	found := false
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "data: ") && strings.Contains(line, `"slot"`) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no slot events arrived on /events: %v", sc.Err())
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
 	}
 }
