@@ -2,7 +2,7 @@
 
 GO ?= go
 # PR number stamped into the benchmark-trajectory file (BENCH_$(PR).json).
-PR ?= 4
+PR ?= 5
 
 .PHONY: all build test test-short vet race bench bench-json figures examples fuzz chaos mecstat-smoke clean
 
@@ -22,10 +22,11 @@ vet:
 
 # Race-detector pass over the concurrency-sensitive paths: the simulator
 # integration tests, the lock-free observability registry, the fault
-# injectors, the shared observer under parallel experiment repeats, and the
-# parallel chaos matrix.
+# injectors, the decision daemon (concurrent decide/observe hammering,
+# per-cell determinism, backpressure), the shared observer under parallel
+# experiment repeats, and the parallel chaos matrix.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/obs/ ./internal/faults/
+	$(GO) test -race ./internal/sim/ ./internal/obs/ ./internal/faults/ ./internal/serve/ ./cmd/mecd/
 	$(GO) test -race -run 'Observer|Chaos' .
 
 # Chaos suite: the injector unit tests, the degradation-ladder tests, the
@@ -35,10 +36,12 @@ chaos:
 	$(GO) test ./internal/sim/ -run 'Blackout|Bandit|ZeroRate|FaultSchedule|DemandSurge|Failure'
 	$(GO) test -race -run 'Chaos|SolveBudget' -v .
 
-# Fuzz the trace-CSV parser (the only parser that ingests external files).
+# Fuzz the parsers that ingest external input: the trace-CSV reader and the
+# chaos-spec grammar (which must also round-trip through Schedule.Spec).
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -fuzz=FuzzReadTraceCSV -fuzztime=$(FUZZTIME) ./internal/workload/
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/faults/
 
 # Full benchmark suite: regenerates every paper figure plus the ablations.
 bench:

@@ -1,0 +1,255 @@
+// Command mecd is the multi-cell decision daemon: a long-running serving
+// process that owns N independent MEC cells — each a step-wise simulation
+// cell with its own seeded RNG, bandit learner, fault schedule, and solver
+// workspaces — sharded across a worker pool, and answers caching/offloading
+// decisions over an HTTP JSON API.
+//
+// Serve 64 cells on 8 shards:
+//
+//	mecd -cells 64 -shards 8 -addr localhost:8370
+//
+// Ask cell 3 for the next slot's decision, then report measured delays back:
+//
+//	curl -s localhost:8370/v1/decide -d '{"cell":3}'
+//	curl -s localhost:8370/v1/observe -d '{"cell":3,"delays":{"17":12.5}}'
+//	curl -s localhost:8370/v1/cells
+//
+// Requests are coalesced into per-shard batches (up to -batch per tick);
+// when a shard's bounded queue (-queue) overflows, requests are rejected
+// with 429 + Retry-After instead of blocking. SIGINT/SIGTERM drains
+// gracefully: in-flight requests complete, observability sinks flush.
+//
+// Live telemetry (serve.requests{cell,route}, serve.batch_size,
+// serve.queue_depth, serve.rejected plus the full solver/bandit series):
+//
+//	mecd -cells 16 -telemetry-addr localhost:9090
+//	curl -s localhost:9090/metrics | grep serve
+//
+// Self-driving throughput mode (no HTTP; each cell closed-loop for N slots):
+//
+//	mecd -cells 64 -drive 100
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/mecsim/l4e"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mecd:", err)
+		os.Exit(1)
+	}
+}
+
+// cleanupStack runs registered finalisers exactly once — on normal exit AND
+// on SIGINT/SIGTERM — mirroring mecsim's pattern so buffered flight records
+// and telemetry state reach disk even when the daemon is interrupted.
+type cleanupStack struct {
+	mu   sync.Mutex
+	once sync.Once
+	fns  []func()
+}
+
+func (c *cleanupStack) push(fn func()) {
+	c.mu.Lock()
+	c.fns = append(c.fns, fn)
+	c.mu.Unlock()
+}
+
+func (c *cleanupStack) run() {
+	c.once.Do(func() {
+		c.mu.Lock()
+		fns := c.fns
+		c.fns = nil
+		c.mu.Unlock()
+		for i := len(fns) - 1; i >= 0; i-- {
+			fns[i]()
+		}
+	})
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mecd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "localhost:8370", "HTTP listen address for the decision API")
+		cells       = fs.Int("cells", 8, "number of independent MEC cells to serve")
+		shards      = fs.Int("shards", 0, "worker-pool size (0 = GOMAXPROCS)")
+		batch       = fs.Int("batch", 16, "max decide/observe requests coalesced per shard tick")
+		queue       = fs.Int("queue", 256, "per-shard pending-request bound (overflow → 429)")
+		policies    = fs.String("policy", "OL_GD", "comma-separated policy names, assigned to cells round-robin")
+		stations    = fs.Int("stations", 30, "stations per cell's GT-ITM network")
+		seed        = fs.Int64("seed", 1, "base seed; cell i uses seed+i")
+		hidden      = fs.Bool("hidden", false, "hide true demands from policies (bursty volumes must be predicted)")
+		chaos       = fs.String("chaos", "", "fault-injection spec applied to every cell (see mecsim -chaos)")
+		chaosSeed   = fs.Int64("chaos-seed", 0, "chaos seed base (0 = derive from -seed); cell i adds i")
+		solveBudget = fs.Int("solve-budget", 0, "simplex pivot budget per slot solve (0 = unlimited)")
+		telemetry   = fs.String("telemetry-addr", "", "serve live /metrics, /snapshot, /events on this address")
+		flightDir   = fs.String("flight-dir", "", "write one flight-recorder JSONL per cell into this directory")
+		drive       = fs.Int("drive", 0, "self-drive every cell closed-loop for N slots and exit (no HTTP)")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cells <= 0 {
+		return fmt.Errorf("-cells %d: want at least 1", *cells)
+	}
+	names := strings.Split(*policies, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+
+	cleanups := &cleanupStack{}
+	defer cleanups.run()
+
+	var observer *l4e.Observer
+	if *telemetry != "" {
+		observer = l4e.NewObserver(l4e.ObserverOptions{})
+		ts, err := l4e.ServeTelemetry(*telemetry, observer)
+		if err != nil {
+			return err
+		}
+		cleanups.push(func() { ts.Close() })
+		fmt.Fprintf(out, "mecd: telemetry on %s\n", ts.URL())
+	}
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	pool := make([]*l4e.Cell, *cells)
+	for i := 0; i < *cells; i++ {
+		opts := []l4e.ScenarioOption{
+			l4e.WithStations(*stations),
+			l4e.WithSeed(*seed + int64(i)),
+			l4e.WithDemandsGiven(!*hidden),
+			l4e.WithSolveBudget(*solveBudget),
+		}
+		if *chaos != "" {
+			base := *chaosSeed
+			if base == 0 {
+				base = *seed + 4000
+			}
+			opts = append(opts, l4e.WithChaos(*chaos), l4e.WithChaosSeed(base+int64(i)))
+		}
+		if observer != nil {
+			opts = append(opts, l4e.WithObserver(observer))
+		}
+		scn, err := l4e.NewScenario(opts...)
+		if err != nil {
+			return fmt.Errorf("cell %d: %w", i, err)
+		}
+		if *flightDir != "" {
+			f, err := os.Create(filepath.Join(*flightDir, fmt.Sprintf("cell-%03d.flight.jsonl", i)))
+			if err != nil {
+				return err
+			}
+			fr := l4e.NewFlightRecorder(f)
+			scn.Flight = fr
+			cleanups.push(func() { fr.Flush(); f.Close() }) //nolint:errcheck
+		}
+		cell, err := scn.NewCell(names[i%len(names)])
+		if err != nil {
+			return fmt.Errorf("cell %d: %w", i, err)
+		}
+		pool[i] = cell
+	}
+
+	srv, err := l4e.NewDecisionServer(l4e.DecisionServerConfig{
+		Shards:     *shards,
+		QueueDepth: *queue,
+		BatchMax:   *batch,
+		Observer:   observer,
+	}, pool)
+	if err != nil {
+		return err
+	}
+
+	if *drive > 0 {
+		return driveCells(out, srv, *cells, *drive)
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "mecd: serving %d cells on %d shards at http://%s (batch %d, queue %d)\n",
+		srv.NumCells(), srv.NumShards(), lis.Addr(), *batch, *queue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "mecd: %v: draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "mecd: shutdown:", err)
+		}
+	}()
+	if err := srv.Serve(lis); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "mecd: drained")
+	return nil
+}
+
+// driveCells closed-loops every cell for n slots through the shard pool —
+// the daemon's own load generator, used for throughput measurement and
+// smoke-testing without an HTTP client.
+func driveCells(out io.Writer, srv *l4e.DecisionServer, cells, n int) error {
+	start := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, cells)
+	for c := 0; c < cells; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for t := 0; t < n; t++ {
+				for {
+					_, err := srv.Decide(c, nil)
+					if err == nil {
+						break
+					}
+					if errors.Is(err, l4e.ErrServerBusy) {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					errc <- fmt.Errorf("cell %d slot %d: %w", c, t, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		return err
+	}
+	elapsed := time.Since(start)
+	total := cells * n
+	fmt.Fprintf(out, "mecd: drove %d cells x %d slots = %d decisions in %.2fs (%.0f decisions/s)\n",
+		cells, n, total, elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	for _, info := range srv.Cells() {
+		fmt.Fprintf(out, "  cell %3d shard %2d %-12s slots %4d avg %.2f ms degraded %d rejected %d\n",
+			info.Cell, info.Shard, info.Policy, info.Slot, info.AvgDelayMS, info.DegradedSlots, info.Rejected)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/mecsim/l4e"
+)
+
+func TestDriveModeSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-cells", "4", "-stations", "12", "-shards", "2", "-drive", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("mecd -drive: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "12 decisions") {
+		t.Errorf("drive summary missing decision count:\n%s", out.String())
+	}
+	for c := 0; c < 4; c++ {
+		if !strings.Contains(out.String(), "OL_GD") {
+			t.Fatalf("per-cell rows missing:\n%s", out.String())
+		}
+	}
+}
+
+func TestDriveModeWithChaosAndFlight(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{
+		"-cells", "2", "-stations", "12", "-drive", "4",
+		"-chaos", "surge:0.5:2:2", "-flight-dir", dir,
+	}, &out)
+	if err != nil {
+		t.Fatalf("mecd -drive -chaos: %v\n%s", err, out.String())
+	}
+	// The cleanup stack only flushes on process exit or signal; flush happens
+	// via the deferred cleanups.run() inside run(), so the artifacts must be
+	// readable now.
+	for c := 0; c < 2; c++ {
+		path := filepath.Join(dir, "cell-00"+string(rune('0'+c))+".flight.jsonl")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("flight artifact: %v", err)
+		}
+		runs, err := l4e.ReadFlightRuns(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		if len(runs) != 1 || len(runs[0].Slots) == 0 {
+			t.Fatalf("%s: %d runs, want 1 with slots", path, len(runs))
+		}
+	}
+}
+
+func TestBadFlagsFail(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-cells", "0"}, &out); err == nil {
+		t.Error("-cells 0 accepted")
+	}
+	if err := run([]string{"-cells", "1", "-policy", "nope", "-drive", "1"}, &out); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

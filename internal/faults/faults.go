@@ -18,10 +18,20 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"github.com/mecsim/l4e/internal/mec"
 )
+
+// validProb rejects NaN along with out-of-range values: NaN compares false
+// against every bound, so naive `v < 0 || v > 1` checks silently admit it.
+func validProb(v float64) bool { return v >= 0 && v <= 1 }
+
+// validFactor accepts finite multipliers strictly above min (NaN and +Inf
+// both fail — an infinite delay or demand factor would poison every
+// downstream average).
+func validFactor(v, min float64) bool { return v > min && !math.IsInf(v, 1) }
 
 // Effect is the composed fault state of one slot. The simulator reads it
 // after Schedule.Apply; injectors only ever degrade it (factors multiply,
@@ -100,6 +110,11 @@ type Injector interface {
 	Reset()
 	// Apply folds this injector's slot-t contribution into e.
 	Apply(t int, e *Effect)
+	// Spec renders the injector as one canonical chaos-spec entry (the
+	// grammar Parse accepts, every parameter explicit). Parsing a schedule's
+	// Spec with the same base seed rebuilds behaviourally identical
+	// injectors.
+	Spec() string
 }
 
 // Schedule composes injectors over a fixed station set.
@@ -202,7 +217,7 @@ type StationOutage struct {
 
 // NewStationOutage builds the injector.
 func NewStationOutage(rate float64, downSlots int, seed int64) (*StationOutage, error) {
-	if rate < 0 || rate > 1 {
+	if !validProb(rate) {
 		return nil, fmt.Errorf("faults: outage rate %v outside [0,1]", rate)
 	}
 	if downSlots < 1 {
@@ -215,6 +230,11 @@ func NewStationOutage(rate float64, downSlots int, seed int64) (*StationOutage, 
 
 // Name implements Injector.
 func (o *StationOutage) Name() string { return "outage" }
+
+// Spec implements Injector.
+func (o *StationOutage) Spec() string {
+	return fmt.Sprintf("outage:%s:%d", ftoa(o.Rate), o.DownSlots)
+}
 
 // Reset implements Injector.
 func (o *StationOutage) Reset() {
@@ -264,7 +284,7 @@ type RegionalOutage struct {
 // without macro stations fall back to one region per station (degenerating
 // to single-station outages).
 func NewRegionalOutage(net *mec.Network, rate float64, downSlots int, seed int64) (*RegionalOutage, error) {
-	if rate < 0 || rate > 1 {
+	if !validProb(rate) {
 		return nil, fmt.Errorf("faults: regional outage rate %v outside [0,1]", rate)
 	}
 	if downSlots < 1 {
@@ -298,6 +318,11 @@ func NewRegionalOutage(net *mec.Network, rate float64, downSlots int, seed int64
 
 // Name implements Injector.
 func (r *RegionalOutage) Name() string { return "regional-outage" }
+
+// Spec implements Injector.
+func (r *RegionalOutage) Spec() string {
+	return fmt.Sprintf("regional:%s:%d", ftoa(r.Rate), r.DownSlots)
+}
 
 // Regions exposes the derived region membership (diagnostics and tests).
 func (r *RegionalOutage) Regions() [][]int { return r.regions }
@@ -346,10 +371,10 @@ type Brownout struct {
 
 // NewBrownout builds the injector.
 func NewBrownout(rate, factor float64, downSlots int, seed int64) (*Brownout, error) {
-	if rate < 0 || rate > 1 {
+	if !validProb(rate) {
 		return nil, fmt.Errorf("faults: brownout rate %v outside [0,1]", rate)
 	}
-	if factor <= 0 || factor >= 1 {
+	if !(factor > 0 && factor < 1) {
 		return nil, fmt.Errorf("faults: brownout factor %v outside (0,1)", factor)
 	}
 	if downSlots < 1 {
@@ -362,6 +387,11 @@ func NewBrownout(rate, factor float64, downSlots int, seed int64) (*Brownout, er
 
 // Name implements Injector.
 func (b *Brownout) Name() string { return "brownout" }
+
+// Spec implements Injector.
+func (b *Brownout) Spec() string {
+	return fmt.Sprintf("brownout:%s:%s:%d", ftoa(b.Rate), ftoa(b.Factor), b.DownSlots)
+}
 
 // Reset implements Injector.
 func (b *Brownout) Reset() {
@@ -405,11 +435,11 @@ type DelaySpike struct {
 
 // NewDelaySpike builds the injector.
 func NewDelaySpike(rate, factor float64, downSlots int, seed int64) (*DelaySpike, error) {
-	if rate < 0 || rate > 1 {
+	if !validProb(rate) {
 		return nil, fmt.Errorf("faults: delay-spike rate %v outside [0,1]", rate)
 	}
-	if factor <= 1 {
-		return nil, fmt.Errorf("faults: delay-spike factor %v must exceed 1", factor)
+	if !validFactor(factor, 1) {
+		return nil, fmt.Errorf("faults: delay-spike factor %v must be finite and exceed 1", factor)
 	}
 	if downSlots < 1 {
 		return nil, fmt.Errorf("faults: delay-spike down-slots %d < 1", downSlots)
@@ -421,6 +451,11 @@ func NewDelaySpike(rate, factor float64, downSlots int, seed int64) (*DelaySpike
 
 // Name implements Injector.
 func (d *DelaySpike) Name() string { return "delay-spike" }
+
+// Spec implements Injector.
+func (d *DelaySpike) Spec() string {
+	return fmt.Sprintf("spike:%s:%s:%d", ftoa(d.Rate), ftoa(d.Factor), d.DownSlots)
+}
 
 // Reset implements Injector.
 func (d *DelaySpike) Reset() {
@@ -463,7 +498,7 @@ type FeedbackLoss struct {
 
 // NewFeedbackLoss builds the injector.
 func NewFeedbackLoss(dropProb, corruptProb float64, seed int64) (*FeedbackLoss, error) {
-	if dropProb < 0 || dropProb > 1 || corruptProb < 0 || corruptProb > 1 {
+	if !validProb(dropProb) || !validProb(corruptProb) {
 		return nil, fmt.Errorf("faults: feedback probabilities (%v,%v) outside [0,1]", dropProb, corruptProb)
 	}
 	f := &FeedbackLoss{DropProb: dropProb, CorruptProb: corruptProb, seed: seed}
@@ -473,6 +508,11 @@ func NewFeedbackLoss(dropProb, corruptProb float64, seed int64) (*FeedbackLoss, 
 
 // Name implements Injector.
 func (f *FeedbackLoss) Name() string { return "feedback-loss" }
+
+// Spec implements Injector.
+func (f *FeedbackLoss) Spec() string {
+	return fmt.Sprintf("feedback:%s:%s", ftoa(f.DropProb), ftoa(f.CorruptProb))
+}
 
 // Reset implements Injector.
 func (f *FeedbackLoss) Reset() { f.rng = rand.New(rand.NewSource(f.seed)) }
@@ -511,11 +551,11 @@ type DemandSurge struct {
 
 // NewDemandSurge builds the injector.
 func NewDemandSurge(rate, factor float64, downSlots int, seed int64) (*DemandSurge, error) {
-	if rate < 0 || rate > 1 {
+	if !validProb(rate) {
 		return nil, fmt.Errorf("faults: surge rate %v outside [0,1]", rate)
 	}
-	if factor <= 1 {
-		return nil, fmt.Errorf("faults: surge factor %v must exceed 1", factor)
+	if !validFactor(factor, 1) {
+		return nil, fmt.Errorf("faults: surge factor %v must be finite and exceed 1", factor)
 	}
 	if downSlots < 1 {
 		return nil, fmt.Errorf("faults: surge down-slots %d < 1", downSlots)
@@ -527,6 +567,11 @@ func NewDemandSurge(rate, factor float64, downSlots int, seed int64) (*DemandSur
 
 // Name implements Injector.
 func (s *DemandSurge) Name() string { return "demand-surge" }
+
+// Spec implements Injector.
+func (s *DemandSurge) Spec() string {
+	return fmt.Sprintf("surge:%s:%s:%d", ftoa(s.Rate), ftoa(s.Factor), s.DownSlots)
+}
 
 // Reset implements Injector.
 func (s *DemandSurge) Reset() {
@@ -569,6 +614,11 @@ func NewBlackout(at, downSlots int) (*Blackout, error) {
 
 // Name implements Injector.
 func (b *Blackout) Name() string { return "blackout" }
+
+// Spec implements Injector.
+func (b *Blackout) Spec() string {
+	return fmt.Sprintf("blackout:%d:%d", b.At, b.DownSlots)
+}
 
 // Reset implements Injector (stateless).
 func (b *Blackout) Reset() {}

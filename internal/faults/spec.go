@@ -21,14 +21,17 @@ import (
 //	blackout:AT[:DOWN]            every station down at slot AT (down 1)
 //
 // Example: "regional:0.03:4,feedback:0.1:0.05,surge:0.02".
-// Each injector derives its private seed from the base seed and its position
-// in the spec, so the same spec + seed always injects the same faults.
+// Each injector derives its private seed from the base seed and its ordinal
+// among the built injectors (empty entries don't shift it), so the same
+// spec + seed always injects the same faults — and so does the canonical
+// form returned by Schedule.Spec, whatever whitespace or empty entries the
+// original spec carried.
 func Parse(spec string, net *mec.Network, seed int64) (*Schedule, error) {
 	if net == nil || net.NumStations() == 0 {
 		return nil, fmt.Errorf("faults: Parse needs a non-empty network")
 	}
 	var injs []Injector
-	for idx, entry := range strings.Split(spec, ",") {
+	for _, entry := range strings.Split(spec, ",") {
 		entry = strings.TrimSpace(entry)
 		if entry == "" {
 			continue
@@ -36,7 +39,7 @@ func Parse(spec string, net *mec.Network, seed int64) (*Schedule, error) {
 		parts := strings.Split(entry, ":")
 		kind := parts[0]
 		args := parts[1:]
-		injSeed := seed + int64(idx+1)*1009
+		injSeed := seed + int64(len(injs)+1)*1009
 
 		inj, err := buildInjector(kind, args, net, injSeed)
 		if err != nil {
@@ -46,6 +49,26 @@ func Parse(spec string, net *mec.Network, seed int64) (*Schedule, error) {
 	}
 	return NewSchedule(net.NumStations(), injs...)
 }
+
+// Spec renders the schedule back into the chaos-spec grammar Parse accepts:
+// one canonical entry per injector, every parameter explicit, application
+// order preserved. Parse(s.Spec(), net, seed) rebuilds a schedule that
+// injects the exact same faults as one built by Parse with that seed —
+// Spec∘Parse is a fixed point of the grammar.
+func (s *Schedule) Spec() string {
+	if s == nil || len(s.injs) == 0 {
+		return ""
+	}
+	entries := make([]string, len(s.injs))
+	for i, inj := range s.injs {
+		entries[i] = inj.Spec()
+	}
+	return strings.Join(entries, ",")
+}
+
+// ftoa formats a parameter with the shortest representation that round-trips
+// through ParseFloat exactly, keeping Spec canonical.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 func buildInjector(kind string, args []string, net *mec.Network, seed int64) (Injector, error) {
 	f := func(i int, def float64) (float64, error) {

@@ -1,0 +1,496 @@
+// Package serve is the long-running decision daemon behind cmd/mecd: it owns
+// N independent MEC cells — each a step-wise sim.Cell with its own seeded
+// RNG, bandit state, fault schedule, and solver workspaces — and multiplexes
+// decide/observe traffic over them through a sharded worker pool.
+//
+// Concurrency model. Cells are partitioned across shards (cell i belongs to
+// shard i mod Shards); each shard is one goroutine draining one bounded FIFO
+// queue. Every mutation of a cell happens on its shard's goroutine, so the
+// solver hot path stays allocation-free AND data-race-free by construction:
+// no locks around the simplex tableau or the flow graph, just ownership.
+// Requests to one cell execute in queue (arrival) order, which is what makes
+// per-cell request sequences deterministic regardless of how requests to
+// OTHER cells interleave.
+//
+// Batching. A shard worker coalesces up to Config.BatchMax pending requests
+// per tick into one batch and solves them back to back — one wakeup, one
+// pass over the solver workspaces — instead of ping-ponging per request. The
+// realised batch size is observable as the serve.batch_size histogram.
+//
+// Backpressure. Queues are bounded (Config.QueueDepth). When a shard's queue
+// is full the request is REJECTED immediately — HTTP 429 with a Retry-After
+// hint — never blocked, so a flooded shard sheds load instead of stalling
+// the listener. Rejections count into serve.rejected.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/mecsim/l4e/internal/obs"
+	"github.com/mecsim/l4e/internal/sim"
+)
+
+// ErrQueueFull is returned by the programmatic Decide/Observe entry points
+// when the target shard's queue is at capacity (the HTTP layer maps it to
+// 429 + Retry-After).
+var ErrQueueFull = errors.New("serve: shard queue full")
+
+// ErrDraining is returned once Shutdown has begun.
+var ErrDraining = errors.New("serve: server draining")
+
+// BatchSizeBuckets are the histogram bounds of serve.batch_size: batch sizes
+// are small integers bounded by Config.BatchMax.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// Config parameterises a Server.
+type Config struct {
+	// Shards is the worker-pool size. Cells are partitioned round-robin
+	// (cell i → shard i mod Shards). Default: GOMAXPROCS(0).
+	Shards int
+	// QueueDepth bounds each shard's pending-request queue; a full queue
+	// rejects (429) instead of blocking. Default 256.
+	QueueDepth int
+	// BatchMax caps how many pending requests one shard tick coalesces into
+	// a single solve pass. Default 16.
+	BatchMax int
+	// RetryAfter is the hint advertised on 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// Observer receives the serving layer's labeled series
+	// (serve.requests{cell,route}, serve.batch_size, serve.queue_depth,
+	// serve.rejected). nil disables instrumentation.
+	Observer *obs.Observer
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Shards <= 0 {
+		out.Shards = runtime.GOMAXPROCS(0)
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 256
+	}
+	if out.BatchMax <= 0 {
+		out.BatchMax = 16
+	}
+	if out.RetryAfter <= 0 {
+		out.RetryAfter = time.Second
+	}
+	return out
+}
+
+type taskKind int
+
+const (
+	taskDecide taskKind = iota
+	taskObserve
+)
+
+// task is one queued unit of work for a shard worker.
+type task struct {
+	kind   taskKind
+	cell   *managedCell
+	vols   []float64
+	played map[int]float64
+	done   chan taskResult
+}
+
+type taskResult struct {
+	dec  *sim.CellDecision
+	slot int
+	err  error
+}
+
+// managedCell pairs a cell with its shard assignment and lock-free status
+// snapshot (swapped by the owning worker, read by /v1/cells).
+type managedCell struct {
+	id       int
+	shard    int
+	cell     *sim.Cell
+	status   atomic.Pointer[sim.CellStatus]
+	rejected atomic.Int64
+}
+
+type shard struct {
+	id    int
+	queue chan task
+}
+
+// Server multiplexes decide/observe traffic over a pool of cells.
+type Server struct {
+	cfg    Config
+	cells  []*managedCell
+	shards []*shard
+	obs    *obs.Observer
+
+	mu       sync.RWMutex // guards draining vs enqueue
+	draining bool
+	wg       sync.WaitGroup
+
+	httpSrv *http.Server
+	started time.Time
+}
+
+// New builds a server over the given cells and starts its shard workers.
+// The cells are owned by the server from here on: drive them only through
+// Decide/Observe (or the HTTP handler), never directly.
+func New(cfg Config, cells []*sim.Cell) (*Server, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("serve: no cells")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Shards > len(cells) {
+		cfg.Shards = len(cells)
+	}
+	s := &Server{cfg: cfg, obs: cfg.Observer, started: time.Now()}
+	for id, c := range cells {
+		if c == nil {
+			return nil, fmt.Errorf("serve: cell %d is nil", id)
+		}
+		mc := &managedCell{id: id, shard: id % cfg.Shards, cell: c}
+		st := c.Status()
+		mc.status.Store(&st)
+		s.cells = append(s.cells, mc)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{id: i, queue: make(chan task, cfg.QueueDepth)}
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go s.worker(sh)
+	}
+	return s, nil
+}
+
+// NumCells reports the number of managed cells.
+func (s *Server) NumCells() int { return len(s.cells) }
+
+// NumShards reports the worker-pool size.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// worker drains one shard's queue, coalescing up to BatchMax pending tasks
+// per tick into a single solve pass over the shard's cells.
+func (s *Server) worker(sh *shard) {
+	defer s.wg.Done()
+	batch := make([]task, 0, s.cfg.BatchMax)
+	label := "s" + strconv.Itoa(sh.id)
+	for tk := range sh.queue {
+		batch = append(batch[:0], tk)
+		for len(batch) < s.cfg.BatchMax {
+			select {
+			case more, ok := <-sh.queue:
+				if !ok {
+					break
+				}
+				batch = append(batch, more)
+				continue
+			default:
+			}
+			break
+		}
+		if s.obs.Enabled() {
+			s.obs.ObserveWith("serve.batch_size", BatchSizeBuckets, float64(len(batch)))
+			s.obs.SetL("serve.queue_depth", float64(len(sh.queue)), obs.L("shard", label)...)
+		}
+		for _, t := range batch {
+			t.done <- s.execute(t)
+		}
+	}
+}
+
+// execute runs one task on its cell (serialized per shard by construction).
+func (s *Server) execute(t task) taskResult {
+	switch t.kind {
+	case taskDecide:
+		dec, err := t.cell.cell.Decide(t.vols)
+		s.snapshot(t.cell)
+		if err != nil {
+			return taskResult{err: err}
+		}
+		return taskResult{dec: dec, slot: dec.Slot}
+	case taskObserve:
+		slot := t.cell.cell.Slot()
+		err := t.cell.cell.Observe(t.played, t.vols)
+		s.snapshot(t.cell)
+		return taskResult{slot: slot, err: err}
+	default:
+		return taskResult{err: fmt.Errorf("serve: unknown task kind %d", t.kind)}
+	}
+}
+
+// snapshot refreshes the cell's lock-free status view.
+func (s *Server) snapshot(mc *managedCell) {
+	st := mc.cell.Status()
+	mc.status.Store(&st)
+}
+
+// submit enqueues a task on the cell's shard, never blocking: a full queue
+// returns ErrQueueFull, a draining server ErrDraining.
+func (s *Server) submit(t task) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return ErrDraining
+	}
+	select {
+	case s.shards[t.cell.shard].queue <- t:
+		return nil
+	default:
+		t.cell.rejected.Add(1)
+		if s.obs.Enabled() {
+			s.obs.Inc("serve.rejected")
+		}
+		return ErrQueueFull
+	}
+}
+
+// call submits a task and waits for its result.
+func (s *Server) call(t task) (taskResult, error) {
+	t.done = make(chan taskResult, 1)
+	if err := s.submit(t); err != nil {
+		return taskResult{}, err
+	}
+	return <-t.done, nil
+}
+
+// Decide plays the next slot of cell id, optionally overriding the slot's
+// realised demand vector. It is the programmatic twin of POST /v1/decide and
+// applies the same backpressure (ErrQueueFull is a rejection, not an error
+// of the cell).
+func (s *Server) Decide(id int, volumes []float64) (*sim.CellDecision, error) {
+	mc, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if s.obs.Enabled() {
+		s.obs.IncL("serve.requests", obs.L("cell", cellLabel(id), "route", "decide")...)
+	}
+	res, err := s.call(task{kind: taskDecide, cell: mc, vols: volumes})
+	if err != nil {
+		return nil, err
+	}
+	return res.dec, res.err
+}
+
+// Observe feeds delay/volume feedback into cell id's pending decision (nil
+// arguments apply the decision's own realised measurements). The programmatic
+// twin of POST /v1/observe.
+func (s *Server) Observe(id int, played map[int]float64, volumes []float64) error {
+	mc, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	if s.obs.Enabled() {
+		s.obs.IncL("serve.requests", obs.L("cell", cellLabel(id), "route", "observe")...)
+	}
+	res, err := s.call(task{kind: taskObserve, cell: mc, played: played, vols: volumes})
+	if err != nil {
+		return err
+	}
+	return res.err
+}
+
+// errUnknownCell marks out-of-range cell IDs (a caller error → HTTP 400).
+var errUnknownCell = errors.New("serve: unknown cell")
+
+func (s *Server) lookup(id int) (*managedCell, error) {
+	if id < 0 || id >= len(s.cells) {
+		return nil, fmt.Errorf("%w: %d outside [0,%d)", errUnknownCell, id, len(s.cells))
+	}
+	return s.cells[id], nil
+}
+
+func isLookupErr(err error) bool { return errors.Is(err, errUnknownCell) }
+
+func cellLabel(id int) string { return "c" + strconv.Itoa(id) }
+
+// CellInfo is one cell's status row in GET /v1/cells.
+type CellInfo struct {
+	Cell     int   `json:"cell"`
+	Shard    int   `json:"shard"`
+	Rejected int64 `json:"rejected"`
+	sim.CellStatus
+}
+
+// Cells snapshots every cell's status without touching the shard queues
+// (reads are lock-free snapshots refreshed by the owning workers).
+func (s *Server) Cells() []CellInfo {
+	out := make([]CellInfo, len(s.cells))
+	for i, mc := range s.cells {
+		out[i] = CellInfo{
+			Cell:       mc.id,
+			Shard:      mc.shard,
+			Rejected:   mc.rejected.Load(),
+			CellStatus: *mc.status.Load(),
+		}
+	}
+	return out
+}
+
+// Serve runs the HTTP API on lis until Shutdown (or a listener error).
+func (s *Server) Serve(lis net.Listener) error {
+	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	err := s.httpSrv.Serve(lis)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains gracefully: stop accepting HTTP requests (in-flight
+// handlers complete, which drains their queued work), then stop the shard
+// workers. Safe to call once; the context bounds the HTTP drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var httpErr error
+	if s.httpSrv != nil {
+		httpErr = s.httpSrv.Shutdown(ctx)
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return httpErr
+	}
+	s.draining = true
+	s.mu.Unlock()
+	// No submit can be in flight past this point (submit holds the read
+	// lock across its enqueue), so closing the queues is race-free; workers
+	// drain what remains and exit.
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+	s.wg.Wait()
+	return httpErr
+}
+
+// decideRequest is the POST /v1/decide body.
+type decideRequest struct {
+	Cell int `json:"cell"`
+	// Volumes optionally overrides the slot's realised demand vector
+	// (length = the cell's full workload request set).
+	Volumes []float64 `json:"volumes,omitempty"`
+}
+
+// observeRequest is the POST /v1/observe body. Delays maps station ID →
+// measured unit delay (ms); omitted, the cell's own realised measurements
+// are applied (closed-loop default).
+type observeRequest struct {
+	Cell    int                `json:"cell"`
+	Delays  map[string]float64 `json:"delays,omitempty"`
+	Volumes []float64          `json:"volumes,omitempty"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/decide   {"cell":N,"volumes":[...]}   → CellDecision
+//	POST /v1/observe  {"cell":N,"delays":{"3":12}} → ack
+//	GET  /v1/cells                                 → per-cell status
+//	GET  /healthz                                  → ok
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/decide", s.handleDecide)
+	mux.HandleFunc("/v1/observe", s.handleObserve)
+	mux.HandleFunc("/v1/cells", s.handleCells)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req decideRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	dec, err := s.Decide(req.Cell, req.Volumes)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, struct {
+		Cell int `json:"cell"`
+		*sim.CellDecision
+	}{req.Cell, dec})
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req observeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var played map[int]float64
+	if req.Delays != nil {
+		played = make(map[int]float64, len(req.Delays))
+		for k, v := range req.Delays {
+			i, err := strconv.Atoi(k)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad station id %q", k), http.StatusBadRequest)
+				return
+			}
+			played[i] = v
+		}
+	}
+	if err := s.Observe(req.Cell, played, req.Volumes); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, struct {
+		Cell     int  `json:"cell"`
+		Observed bool `json:"observed"`
+	}{req.Cell, true})
+}
+
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, struct {
+		Shards   int        `json:"shards"`
+		BatchMax int        `json:"batch_max"`
+		UptimeS  float64    `json:"uptime_s"`
+		Cells    []CellInfo `json:"cells"`
+	}{len(s.shards), s.cfg.BatchMax, time.Since(s.started).Seconds(), s.Cells()})
+}
+
+// writeErr maps serving errors onto HTTP statuses: backpressure → 429 with a
+// Retry-After hint, draining → 503, protocol misuse (observe with nothing
+// pending) → 409, bad input → 400.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, sim.ErrNoPendingObserve):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, sim.ErrBadVolumes), isLookupErr(err):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -11,8 +11,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"math/rand"
-	"time"
 
 	"github.com/mecsim/l4e/internal/algorithms"
 	"github.com/mecsim/l4e/internal/bandit"
@@ -216,10 +214,13 @@ func (r *Runner) slots() int {
 // set R(t). trueVolumes selects whether request volumes carry rho_l(t) or
 // only the basic demands; a non-nil fault effect scales station capacities
 // (outages and brownouts) and, on the true volumes only, request demands
-// (surges — the basic-demand view stays the a-priori information).
+// (surges — the basic-demand view stays the a-priori information). A non-nil
+// override replaces the trace's realised volumes with a client-supplied
+// demand vector (full workload indexing); slot indices wrap around the
+// workload horizon so a step-wise Cell can outlive the generated trace.
 // RequestSpec.ID keeps each slot entry tied to its stable workload request,
 // so policies with per-request state index by ID, not position.
-func (r *Runner) buildProblem(t int, trueVolumes bool, eff *faults.Effect) *caching.Problem {
+func (r *Runner) buildProblem(t int, trueVolumes bool, eff *faults.Effect, override []float64) *caching.Problem {
 	p := &caching.Problem{
 		NumStations: r.net.NumStations(),
 		NumServices: len(r.w.Services),
@@ -235,14 +236,18 @@ func (r *Runner) buildProblem(t int, trueVolumes bool, eff *faults.Effect) *cach
 			p.CapacityMHz[i] *= eff.CapacityFactor[i]
 		}
 	}
+	wt := t % r.w.Config.Horizon
 	var lat [][]float64
 	for l, req := range r.w.Requests {
-		if !r.w.Active[t][l] {
+		if !r.w.Active[wt][l] {
 			continue
 		}
 		v := req.BasicDemand
 		if trueVolumes {
-			v = r.w.Volumes[t][l]
+			v = r.w.Volumes[wt][l]
+			if override != nil {
+				v = override[l]
+			}
 			if eff != nil {
 				v *= eff.DemandFactor
 			}
@@ -266,393 +271,25 @@ type trueDelaySetter interface {
 	SetTrueDelays([]float64)
 }
 
-// Run executes the policy over the horizon.
+// Run executes the policy over the horizon. It is a thin loop over the
+// step-wise Cell engine: one Decide + default Observe per slot — exactly the
+// closed simulation loop, so results are bit-identical to the historical
+// monolithic implementation.
 func (r *Runner) Run(policy algorithms.Policy) (*Result, error) {
+	cell, err := r.NewCell(policy)
+	if err != nil {
+		return nil, err
+	}
 	T := r.slots()
-	rng := rand.New(rand.NewSource(r.cfg.Seed))
-	res := &Result{
-		Policy:           policy.Name(),
-		PerSlotDelayMS:   make([]float64, 0, T),
-		PerSlotRuntimeMS: make([]float64, 0, T),
-	}
-	var oracle *algorithms.Oracle
-	if r.cfg.TrackRegret {
-		oracle = algorithms.NewOracle()
-		res.Regret = &bandit.RegretTracker{}
-	}
-
-	ob := r.cfg.Observer
-	if setter, ok := policy.(algorithms.ObserverSetter); ok {
-		setter.SetObserver(ob)
-	}
-	if oracle != nil {
-		oracle.SetObserver(ob)
-	}
-	if ob.TraceEnabled() {
-		ob.Emit(obs.Event{Slot: 0, Name: "run.start", Policy: policy.Name(), Fields: obs.Fields{
-			"slots":         T,
-			"stations":      r.net.NumStations(),
-			"requests":      len(r.w.Requests),
-			"demands_given": r.cfg.DemandsGiven,
-			"warm_cache":    r.cfg.WarmCache,
-			"seed":          r.cfg.Seed,
-		}})
-	}
-	fl := r.cfg.Flight
-	fl.RecordHeader(obs.FlightHeader{
-		Policy:       policy.Name(),
-		Slots:        T,
-		Stations:     r.net.NumStations(),
-		Requests:     len(r.w.Requests),
-		Seed:         r.cfg.Seed,
-		DemandsGiven: r.cfg.DemandsGiven,
-		TrackRegret:  r.cfg.TrackRegret,
-		Chaos:        r.sched != nil,
-	})
-	// Instance set of the previous slot, tracked for cache-churn metrics only
-	// (independent of the WarmCache accounting, which is a charging rule).
-	var obsPrevInst map[[2]int]bool
-
-	clusters := make([]int, len(r.w.Requests))
-	for l, req := range r.w.Requests {
-		clusters[l] = req.Cluster
-	}
-
-	if r.sched != nil {
-		// Rewind every injector so compared policies face identical faults.
-		r.sched.Reset()
-	}
-	prevInstances := map[[2]int]bool(nil)
 	for t := 0; t < T; t++ {
-		actual := r.net.SampleDelays(rng)
-
-		// Fault injection: compose the slot's effect. Delay spikes perturb the
-		// realised delays here; capacity and demand factors are folded into the
-		// slot problems by buildProblem; feedback faults apply at Observe.
-		var eff *faults.Effect
-		var faultKinds map[string]int // copy of eff.ByKind (Effect is reused)
-		if r.sched != nil {
-			eff = r.sched.Apply(t)
-			res.FaultsInjected += eff.Injected
-			for i := range actual {
-				if eff.DelayFactor[i] != 1 {
-					actual[i] *= eff.DelayFactor[i]
-				}
-				if eff.CapacityFactor[i] == 0 {
-					res.FailedStationSlots++
-				}
-			}
-			if eff.Injected > 0 {
-				if len(eff.ByKind) > 0 && (ob.Enabled() || fl != nil) {
-					faultKinds = make(map[string]int, len(eff.ByKind))
-					for kind, n := range eff.ByKind {
-						faultKinds[kind] = n
-						ob.AddL("faults.by_kind", int64(n), obs.L("kind", kind)...)
-					}
-				}
-				ob.Add("faults.injected", int64(eff.Injected))
-				if ob.TraceEnabled() {
-					ob.Emit(obs.Event{Slot: t, Name: "fault", Policy: policy.Name(), Fields: obs.Fields{
-						"injected": eff.Injected,
-						"by_kind":  faultKinds,
-					}})
-				}
-			}
+		if _, err := cell.Decide(nil); err != nil {
+			return nil, err
 		}
-
-		if setter, ok := policy.(trueDelaySetter); ok {
-			setter.SetTrueDelays(actual)
-		}
-
-		deg := &algorithms.DegradeReport{}
-		view := &algorithms.SlotView{
-			T:            t,
-			Problem:      r.buildProblem(t, r.cfg.DemandsGiven, eff),
-			DemandsGiven: r.cfg.DemandsGiven,
-			Features:     r.slotFeatures(t),
-			Clusters:     clusters,
-			Degrade:      deg,
-		}
-		start := time.Now()
-		assignment, err := policy.Decide(view)
-		elapsed := time.Since(start)
-
-		// Realised delay: true volumes, true delays. No policy or solver
-		// failure aborts the horizon: a failed Decide (or a malformed
-		// assignment) is replaced by the never-failing greedy fallback and the
-		// slot is recorded as degraded.
-		evalProblem := r.buildProblem(t, true, eff)
-		evalOnce := func(a *caching.Assignment) (float64, bool, map[[2]int]bool, error) {
-			if r.cfg.WarmCache {
-				return evalProblem.EvaluateWarm(a, actual, prevInstances)
-			}
-			avg, feasible, err := evalProblem.Evaluate(a, actual)
-			return avg, feasible, nil, err
-		}
-		var avg float64
-		var feasible bool
-		var inst map[[2]int]bool
-		decideFailed := err != nil || assignment == nil
-		if !decideFailed {
-			avg, feasible, inst, err = evalOnce(assignment)
-			decideFailed = err != nil
-		}
-		if decideFailed {
-			res.DecideFailures++
-			if ob.Enabled() {
-				ob.Inc("sim.decide_failures")
-				if err != nil && ob.TraceEnabled() {
-					ob.Emit(obs.Event{Slot: t, Name: "decide.fallback", Policy: policy.Name(), Fields: obs.Fields{
-						"error": err.Error(),
-					}})
-				}
-			}
-			assignment = fallbackAssignment(evalProblem)
-			avg, feasible, inst, err = evalOnce(assignment)
-			if err != nil {
-				// The fallback assignment is structurally valid by
-				// construction; failing to evaluate it is a simulator bug.
-				return nil, fmt.Errorf("sim: %s slot %d fallback evaluation: %w", policy.Name(), t, err)
-			}
-		}
-		if r.cfg.WarmCache {
-			prevInstances = inst
-		}
-		if !feasible {
-			res.OverloadSlots++
-		}
-		res.FallbackSolves += deg.FallbackSolves
-		res.RepairViolations += deg.RepairViolations
-		degraded := decideFailed || deg.FallbackSolves > 0 || deg.RepairViolations > 0
-		if degraded {
-			res.DegradedSlots++
-			if ob.Enabled() {
-				ob.Inc("sim.degraded_slots")
-				if deg.RepairViolations > 0 {
-					ob.Add("solve.repairs", int64(deg.RepairViolations))
-				}
-				if ob.TraceEnabled() {
-					ob.Emit(obs.Event{Slot: t, Name: "degraded", Policy: policy.Name(), Fields: obs.Fields{
-						"decide_failed":   decideFailed,
-						"fallback_solves": deg.FallbackSolves,
-						"shed":            deg.RepairViolations,
-						"solver":          string(deg.Solver),
-					}})
-				}
-			}
-		}
-		decideMS := float64(elapsed) / float64(time.Millisecond)
-		res.PerSlotDelayMS = append(res.PerSlotDelayMS, avg)
-		res.PerSlotRuntimeMS = append(res.PerSlotRuntimeMS, decideMS)
-
-		// Realised-vs-predicted volume error: under demand uncertainty the
-		// policy overwrote view volumes with its predictions at Decide;
-		// evalProblem holds the realised rho_l(t) in the same order.
-		volMAE := math.NaN()
-		if !r.cfg.DemandsGiven && len(evalProblem.Requests) > 0 && (ob.Enabled() || fl != nil) {
-			sum := 0.0
-			for l := range evalProblem.Requests {
-				sum += math.Abs(view.Problem.Requests[l].Volume - evalProblem.Requests[l].Volume)
-			}
-			volMAE = sum / float64(len(evalProblem.Requests))
-			ob.Set("predictor.volume_mae", volMAE)
-		}
-
-		if ob.Enabled() {
-			ob.Inc("sim.slots")
-			ob.Observe("sim.decide_ms", decideMS)
-			ob.Observe("sim.slot_delay_ms", avg)
-			if !feasible {
-				ob.Inc("sim.overload_slots")
-			}
-
-			// Cache churn: the slot's instance set is the distinct
-			// (service, station) pairs the assignment instantiates.
-			slotInst := make(map[[2]int]bool)
-			for l, i := range assignment.BS {
-				slotInst[[2]int{evalProblem.Requests[l].Service, i}] = true
-			}
-			added, evicted := 0, 0
-			for ki := range slotInst {
-				if !obsPrevInst[ki] {
-					added++
-				}
-			}
-			for ki := range obsPrevInst {
-				if !slotInst[ki] {
-					evicted++
-				}
-			}
-			obsPrevInst = slotInst
-			ob.Add("sim.instances_added", int64(added))
-			ob.Add("sim.instances_evicted", int64(evicted))
-			ob.Set("sim.instances_active", float64(len(slotInst)))
-
-			if ob.TraceEnabled() {
-				f := obs.Fields{
-					"delay_ms":          avg,
-					"decide_ms":         decideMS,
-					"requests":          len(evalProblem.Requests),
-					"overload":          !feasible,
-					"instances_active":  len(slotInst),
-					"instances_added":   added,
-					"instances_evicted": evicted,
-				}
-				if !math.IsNaN(volMAE) {
-					f["volume_mae"] = volMAE
-				}
-				ob.Emit(obs.Event{Slot: t, Name: "slot", Policy: policy.Name(), Fields: f})
-			}
-			ob.SampleRuntime(t)
-		}
-
-		// Feedback: played arms and realised volumes, filtered through the
-		// slot's feedback faults — dropped observations vanish (the learner
-		// sees nothing for that arm), corrupted ones arrive as NaN (the
-		// learner must reject them, see bandit.Arms.Observe).
-		played := make(map[int]float64)
-		for _, i := range assignment.BS {
-			played[i] = actual[i]
-		}
-		if eff != nil {
-			for i := range played {
-				switch {
-				case eff.DropFeedback[i]:
-					delete(played, i)
-				case eff.CorruptFeedback[i]:
-					played[i] = math.NaN()
-				}
-			}
-		}
-		vols := append([]float64(nil), r.w.Volumes[t]...)
-		if eff != nil && eff.DemandFactor != 1 {
-			for l := range vols {
-				vols[l] *= eff.DemandFactor
-			}
-		}
-		policy.Observe(&algorithms.Observation{
-			T:            t,
-			PlayedDelays: played,
-			TrueVolumes:  vols,
-			Active:       append([]bool(nil), r.w.Active[t]...),
-		})
-
-		var oracleDelay *float64
-		if oracle != nil {
-			oracle.SetTrueDelays(actual)
-			oview := &algorithms.SlotView{
-				T:            t,
-				Problem:      r.buildProblem(t, true, eff),
-				DemandsGiven: true,
-				Clusters:     clusters,
-				Degrade:      &algorithms.DegradeReport{},
-			}
-			oassign, err := oracle.Decide(oview)
-			if err != nil || oassign == nil {
-				// The reference must not abort the run either: degrade it the
-				// same way as the policy under test.
-				oassign = fallbackAssignment(oview.Problem)
-			}
-			oavg, _, err := r.buildProblem(t, true, eff).Evaluate(oassign, actual)
-			if err != nil {
-				return nil, fmt.Errorf("sim: oracle slot %d evaluation: %w", t, err)
-			}
-			if err := res.Regret.Record(avg, oavg); err != nil {
-				return nil, err
-			}
-			oracleDelay = &oavg
-			if ob.Enabled() {
-				ob.Set("sim.cumulative_regret_ms", res.Regret.Cumulative())
-				if ob.TraceEnabled() {
-					ob.Emit(obs.Event{Slot: t, Name: "regret", Policy: policy.Name(), Fields: obs.Fields{
-						"oracle_delay_ms": oavg,
-						"slot_regret_ms":  avg - oavg,
-						"cumulative_ms":   res.Regret.Cumulative(),
-					}})
-				}
-			}
-		}
-
-		if fl != nil {
-			// Recorded at slot END so arm statistics include this slot's
-			// Observe — the trajectories Theorem 1 is about.
-			rec := obs.FlightSlot{
-				Policy:         policy.Name(),
-				Slot:           t,
-				DelayMS:        avg,
-				DecideMS:       decideMS,
-				FaultsInjected: faultCount(eff),
-				FaultKinds:     faultKinds,
-				Solver:         string(deg.Solver),
-				FallbackSolves: deg.FallbackSolves,
-				Shed:           deg.RepairViolations,
-				DecideFailed:   decideFailed,
-				Degraded:       degraded,
-				Overload:       !feasible,
-			}
-			if oracleDelay != nil {
-				reg := avg - *oracleDelay
-				cum := res.Regret.Cumulative()
-				rec.OracleDelayMS = oracleDelay
-				rec.SlotRegretMS = &reg
-				rec.CumRegretMS = &cum
-			}
-			if br, ok := policy.(algorithms.BanditReporter); ok {
-				if st := br.BanditState(); st != nil {
-					if st.HasEpsilon {
-						eps := st.Epsilon
-						explored := st.Explored
-						rec.Epsilon = &eps
-						rec.Explored = &explored
-					}
-					rec.ArmPulls = st.Pulls
-					rec.ArmMeans = st.Means
-				}
-			}
-			if !math.IsNaN(volMAE) {
-				mae := volMAE
-				rec.PredErrMAE = &mae
-			}
-			fl.RecordSlot(rec)
+		if err := cell.Observe(nil, nil); err != nil {
+			return nil, err
 		}
 	}
-
-	for _, d := range res.PerSlotDelayMS {
-		res.AvgDelayMS += d
-	}
-	res.AvgDelayMS /= float64(len(res.PerSlotDelayMS))
-	for _, rt := range res.PerSlotRuntimeMS {
-		res.TotalRuntimeMS += rt
-	}
-	if ob.Enabled() {
-		ob.Set("sim.avg_delay_ms", res.AvgDelayMS)
-		ob.Set("sim.total_runtime_ms", res.TotalRuntimeMS)
-		if err := ob.Flush(); err != nil {
-			return nil, fmt.Errorf("sim: flushing trace: %w", err)
-		}
-	}
-	if fl != nil {
-		sum := obs.FlightSummary{
-			Policy:         res.Policy,
-			Slots:          len(res.PerSlotDelayMS),
-			AvgDelayMS:     res.AvgDelayMS,
-			TotalRuntimeMS: res.TotalRuntimeMS,
-			OverloadSlots:  res.OverloadSlots,
-			DegradedSlots:  res.DegradedSlots,
-			FallbackSolves: res.FallbackSolves,
-			DecideFailures: res.DecideFailures,
-			FaultsInjected: res.FaultsInjected,
-		}
-		if res.Regret != nil {
-			cum := res.Regret.Cumulative()
-			sum.CumRegretMS = &cum
-		}
-		fl.RecordSummary(sum)
-		if err := fl.Flush(); err != nil {
-			return nil, fmt.Errorf("sim: flushing flight recorder: %w", err)
-		}
-	}
-	return res, nil
+	return cell.finish()
 }
 
 // faultCount returns the slot's injected-fault count (0 for a nil effect).
@@ -685,11 +322,13 @@ func fallbackAssignment(p *caching.Problem) *caching.Assignment {
 	return a
 }
 
-// slotFeatures returns each request's current-slot observable feature row.
+// slotFeatures returns each request's current-slot observable feature row
+// (slot indices wrap around the workload horizon, mirroring buildProblem).
 func (r *Runner) slotFeatures(t int) [][]float64 {
+	wt := t % r.w.Config.Horizon
 	out := make([][]float64, len(r.w.Requests))
 	for l, req := range r.w.Requests {
-		out[l] = []float64{r.w.Occupancy[t][req.Cluster]}
+		out[l] = []float64{r.w.Occupancy[wt][req.Cluster]}
 	}
 	return out
 }

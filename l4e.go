@@ -28,6 +28,7 @@ import (
 	"github.com/mecsim/l4e/internal/faults"
 	"github.com/mecsim/l4e/internal/mec"
 	"github.com/mecsim/l4e/internal/obs"
+	"github.com/mecsim/l4e/internal/serve"
 	"github.com/mecsim/l4e/internal/sim"
 	"github.com/mecsim/l4e/internal/topology"
 	"github.com/mecsim/l4e/internal/workload"
@@ -64,6 +65,34 @@ type (
 	FlightRun = obs.FlightRun
 	// TelemetryServer serves live observer state over HTTP (see ServeTelemetry).
 	TelemetryServer = obs.TelemetryServer
+	// Cell is a step-wise decision engine for one MEC cell: Decide plays one
+	// slot, Observe feeds delay/volume feedback into the learner. Build one
+	// with Scenario.NewCell; a pool of cells is what the mecd daemon serves.
+	Cell = sim.Cell
+	// CellDecision is the outcome of one Cell.Decide step.
+	CellDecision = sim.CellDecision
+	// CellStatus is a point-in-time view of a cell's progress.
+	CellStatus = sim.CellStatus
+	// DecisionServer multiplexes decide/observe traffic over a pool of cells
+	// through a sharded worker pool with per-shard batching and bounded-queue
+	// backpressure (see NewDecisionServer and cmd/mecd).
+	DecisionServer = serve.Server
+	// DecisionServerConfig parameterises NewDecisionServer.
+	DecisionServerConfig = serve.Config
+	// DecisionCellInfo is one cell's status row in DecisionServer.Cells.
+	DecisionCellInfo = serve.CellInfo
+)
+
+// Decision-server sentinel errors, re-exported so daemon clients (and
+// cmd/mecd's self-drive loop) can branch on backpressure vs shutdown.
+var (
+	// ErrServerBusy reports a full shard queue: the request was rejected,
+	// not queued. Retry after a short backoff (HTTP 429 + Retry-After).
+	ErrServerBusy = serve.ErrQueueFull
+	// ErrServerDraining reports a server mid-shutdown (HTTP 503).
+	ErrServerDraining = serve.ErrDraining
+	// ErrNoPendingObserve reports an Observe with no prior Decide (HTTP 409).
+	ErrNoPendingObserve = sim.ErrNoPendingObserve
 )
 
 // L builds a label list for the observer's labeled metric methods:
@@ -543,6 +572,36 @@ func (s *Scenario) runner(trackRegret bool) (*sim.Runner, error) {
 		Observer:         s.Observer,
 		Flight:           s.Flight,
 	})
+}
+
+// NewCell builds a step-wise decision cell over this scenario's environment,
+// driving the named policy slot by slot: Decide plays the next slot (a nil
+// demand vector replays the generated trace; a non-nil one overrides it) and
+// Observe feeds delay feedback into the policy's learner. Unlike Run, a cell
+// does not stop at the workload horizon — slots wrap around the trace — so it
+// can back a long-running serving process. Each call builds an independent
+// cell (own RNG, bandit state, fault schedule, solver workspaces); a pool of
+// cells from per-cell scenarios is what NewDecisionServer shards.
+func (s *Scenario) NewCell(policyName string) (*Cell, error) {
+	p, err := s.NewPolicy(policyName)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.runner(false)
+	if err != nil {
+		return nil, err
+	}
+	return r.NewCell(p)
+}
+
+// NewDecisionServer builds the sharded multi-cell decision daemon over a
+// pool of cells (see cmd/mecd): decide/observe traffic is partitioned across
+// a worker pool (cell i → shard i mod Shards), coalesced into per-shard
+// batches of up to BatchMax requests, and shed with explicit backpressure
+// (HTTP 429 + Retry-After) when a shard's bounded queue overflows. The
+// server owns the cells from here on.
+func NewDecisionServer(cfg DecisionServerConfig, cells []*Cell) (*DecisionServer, error) {
+	return serve.New(cfg, cells)
 }
 
 // Run simulates one policy over the horizon.
