@@ -47,11 +47,19 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x ./...
 
-# Benchmark-trajectory snapshot: runs the root-package benches (figure panels
-# with mean delays as custom metrics, plus the solver/LSTM micro-benches with
-# allocs/op) and records them as BENCH_$(PR).json via cmd/benchjson.
+# Benchmark-trajectory snapshot: runs the root-package benches and records
+# them as BENCH_$(PR).json via cmd/benchjson — the input cmd/benchdiff judges
+# performance PRs with. Benches are grouped by cost so every entry gets a
+# FIXED, meaningful iteration count instead of `-benchtime 1x` noise:
+# the cheap micro-benches (solver, LSTM, observer hooks) run long enough for
+# stable ns/op and repeat -count 3 (benchjson merges the repeats,
+# iteration-weighted); the multi-second figure/ablation/daemon benches stay
+# at one iteration — their payload is the custom metrics (mean delays,
+# decisions_per_s), which average internally over many slots already.
 bench-json:
-	$(GO) test -run '^$$' -bench=. -benchmem -benchtime 1x . \
+	{ $(GO) test -run '^$$' -bench 'ObserverNopHooks' -benchmem -benchtime 100000x -count 3 . && \
+	  $(GO) test -run '^$$' -bench 'SolveLP|LSTMStep' -benchmem -benchtime 20x -count 3 . && \
+	  $(GO) test -run '^$$' -bench 'Fig|RegretBound|GammaSweep|ScheduleAblation|AdaptiveBaselines|OracleGap|WarmCacheAblation|FailureRobustness|ScheduledEvents|ObserverSimOverhead|DecisionServer' -benchmem -benchtime 1x . ; } \
 		| $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json
 
 # End-to-end observability smoke: a 5-policy chaos comparison with regret

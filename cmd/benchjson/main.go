@@ -23,7 +23,8 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one parsed benchmark result line (or, with -count > 1, the
+// iteration-weighted merge of the repeated runs — see mergeDuplicates).
 type Benchmark struct {
 	Name        string             `json:"name"`
 	Iterations  int64              `json:"iterations"`
@@ -32,6 +33,9 @@ type Benchmark struct {
 	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
 	MBPerS      *float64           `json:"mb_per_s,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	// Samples counts the merged result lines when go test ran with -count > 1
+	// (omitted for a single run).
+	Samples int `json:"samples,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -110,7 +114,92 @@ func parse(r io.Reader) (*Report, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	rep.Benchmarks = mergeDuplicates(rep.Benchmarks)
 	return rep, nil
+}
+
+// mergeDuplicates coalesces repeated benchmark names (`go test -count N`
+// emits one line per run) into one entry each: per-op values are averaged
+// weighted by each run's iteration count, iterations are summed, and Samples
+// records how many lines merged — so a BENCH file stays one row per
+// benchmark and benchdiff compares like with like. First-seen order is kept.
+func mergeDuplicates(in []Benchmark) []Benchmark {
+	type accum struct {
+		b       Benchmark
+		weight  float64
+		bytesW  float64
+		allocsW float64
+		mbW     float64
+		metricW map[string]float64
+	}
+	var order []string
+	accums := map[string]*accum{}
+	for _, b := range in {
+		w := float64(b.Iterations)
+		if w <= 0 {
+			w = 1
+		}
+		a := accums[b.Name]
+		if a == nil {
+			a = &accum{b: Benchmark{Name: b.Name}, metricW: map[string]float64{}}
+			accums[b.Name] = a
+			order = append(order, b.Name)
+		}
+		a.b.Samples++
+		a.b.Iterations += b.Iterations
+		a.b.NsPerOp += b.NsPerOp * w
+		a.weight += w
+		if b.BytesPerOp != nil {
+			if a.b.BytesPerOp == nil {
+				a.b.BytesPerOp = new(float64)
+			}
+			*a.b.BytesPerOp += *b.BytesPerOp * w
+			a.bytesW += w
+		}
+		if b.AllocsPerOp != nil {
+			if a.b.AllocsPerOp == nil {
+				a.b.AllocsPerOp = new(float64)
+			}
+			*a.b.AllocsPerOp += *b.AllocsPerOp * w
+			a.allocsW += w
+		}
+		if b.MBPerS != nil {
+			if a.b.MBPerS == nil {
+				a.b.MBPerS = new(float64)
+			}
+			*a.b.MBPerS += *b.MBPerS * w
+			a.mbW += w
+		}
+		for k, v := range b.Metrics {
+			if a.b.Metrics == nil {
+				a.b.Metrics = map[string]float64{}
+			}
+			a.b.Metrics[k] += v * w
+			a.metricW[k] += w
+		}
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		a := accums[name]
+		a.b.NsPerOp /= a.weight
+		if a.b.BytesPerOp != nil {
+			*a.b.BytesPerOp /= a.bytesW
+		}
+		if a.b.AllocsPerOp != nil {
+			*a.b.AllocsPerOp /= a.allocsW
+		}
+		if a.b.MBPerS != nil {
+			*a.b.MBPerS /= a.mbW
+		}
+		for k := range a.b.Metrics {
+			a.b.Metrics[k] /= a.metricW[k]
+		}
+		if a.b.Samples == 1 {
+			a.b.Samples = 0 // omitempty: single runs keep the old schema
+		}
+		out = append(out, a.b)
+	}
+	return out
 }
 
 func main() {

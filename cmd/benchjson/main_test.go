@@ -69,6 +69,44 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestMergeDuplicates(t *testing.T) {
+	// Three -count runs of one benchmark: the merge is iteration-weighted, so
+	// the heavy 200-iteration run dominates the means.
+	input := `BenchmarkX-8 100 1000 ns/op 40 B/op 4 allocs/op 10 widgets/s
+BenchmarkX-8 200 700 ns/op 10 B/op 1 allocs/op 40 widgets/s
+BenchmarkX-8 100 1000 ns/op 40 B/op 4 allocs/op 10 widgets/s
+BenchmarkY-8 50 500 ns/op
+`
+	rep, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("merged to %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	x := rep.Benchmarks[0]
+	if x.Name != "X" || x.Samples != 3 || x.Iterations != 400 {
+		t.Errorf("X merged = %+v, want 3 samples over 400 iterations", x)
+	}
+	// (100*1000 + 200*700 + 100*1000)/400 = 850.
+	if x.NsPerOp != 850 {
+		t.Errorf("X ns/op = %v, want iteration-weighted 850", x.NsPerOp)
+	}
+	if x.BytesPerOp == nil || *x.BytesPerOp != 25 {
+		t.Errorf("X B/op = %v, want 25", x.BytesPerOp)
+	}
+	if x.AllocsPerOp == nil || *x.AllocsPerOp != 2.5 {
+		t.Errorf("X allocs/op = %v, want 2.5", x.AllocsPerOp)
+	}
+	if got := x.Metrics["widgets/s"]; got != 25 {
+		t.Errorf("X widgets/s = %v, want 25", got)
+	}
+	y := rep.Benchmarks[1]
+	if y.Name != "Y" || y.Samples != 0 || y.NsPerOp != 500 {
+		t.Errorf("Y = %+v, want untouched single run (Samples omitted)", y)
+	}
+}
+
 func TestParseBadValue(t *testing.T) {
 	if _, err := parse(strings.NewReader("BenchmarkX 10 abc ns/op\n")); err == nil {
 		t.Error("malformed value accepted")

@@ -25,6 +25,15 @@
 //	mecd -cells 16 -telemetry-addr localhost:9090
 //	curl -s localhost:9090/metrics | grep serve
 //
+// Request-scoped latency attribution and SLO tracking: -trace records one
+// span tree per request (ingest → queue wait → batch wait → solve → encode)
+// as JSONL, decomposed post-hoc with `mecstat -spans FILE`; -slo-latency-ms
+// attaches a rolling-window burn-rate tracker served at /slo and makes
+// /healthz readiness-aware (ok / degraded / overloaded / draining):
+//
+//	mecd -cells 16 -trace spans.jsonl -slo-latency-ms 5
+//	curl -s localhost:8370/slo
+//
 // Self-driving throughput mode (no HTTP; each cell closed-loop for N slots):
 //
 //	mecd -cells 64 -drive 100
@@ -99,6 +108,11 @@ func run(args []string, out io.Writer) error {
 		solveBudget = fs.Int("solve-budget", 0, "simplex pivot budget per slot solve (0 = unlimited)")
 		telemetry   = fs.String("telemetry-addr", "", "serve live /metrics, /snapshot, /events on this address")
 		flightDir   = fs.String("flight-dir", "", "write one flight-recorder JSONL per cell into this directory")
+		trace       = fs.String("trace", "", "write request-scoped latency spans as JSONL to this file (decompose with mecstat -spans)")
+		sloLatency  = fs.Float64("slo-latency-ms", 0, "per-request latency objective in ms; > 0 enables SLO tracking (/slo, readiness-aware /healthz)")
+		sloTarget   = fs.Float64("slo-latency-target", 0.99, "fraction of requests that must meet the latency objective")
+		sloBudget   = fs.Float64("slo-error-budget", 0.001, "largest acceptable fraction of failed requests")
+		sloWindows  = fs.String("slo-windows", "1m,10m", "comma-separated burn-rate windows, shortest first")
 		drive       = fs.Int("drive", 0, "self-drive every cell closed-loop for N slots and exit (no HTTP)")
 	)
 	fs.SetOutput(out)
@@ -116,15 +130,53 @@ func run(args []string, out io.Writer) error {
 	cleanups := &cleanupStack{}
 	defer cleanups.run()
 
-	var observer *l4e.Observer
+	var (
+		observer *l4e.Observer
+		obsOpts  l4e.ObserverOptions
+	)
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		cleanups.push(func() { f.Close() }) //nolint:errcheck
+		obsOpts.TraceWriter = f
+	}
+	if *telemetry != "" || *trace != "" {
+		observer = l4e.NewObserver(obsOpts)
+		// Flush runs before the trace file's Close (cleanups pop in reverse),
+		// so buffered spans reach disk even on SIGINT.
+		cleanups.push(func() { observer.Flush() }) //nolint:errcheck
+	}
 	if *telemetry != "" {
-		observer = l4e.NewObserver(l4e.ObserverOptions{})
 		ts, err := l4e.ServeTelemetry(*telemetry, observer)
 		if err != nil {
 			return err
 		}
 		cleanups.push(func() { ts.Close() })
 		fmt.Fprintf(out, "mecd: telemetry on %s\n", ts.URL())
+	}
+
+	var slo *l4e.SLOTracker
+	if *sloLatency > 0 {
+		var windows []time.Duration
+		for _, w := range strings.Split(*sloWindows, ",") {
+			w = strings.TrimSpace(w)
+			if w == "" {
+				continue
+			}
+			d, err := time.ParseDuration(w)
+			if err != nil {
+				return fmt.Errorf("-slo-windows %q: %w", *sloWindows, err)
+			}
+			windows = append(windows, d)
+		}
+		slo = l4e.NewSLOTracker(l4e.SLOConfig{
+			LatencyObjectiveMS: *sloLatency,
+			LatencyTarget:      *sloTarget,
+			ErrorBudget:        *sloBudget,
+			Windows:            windows,
+		})
 	}
 	if *flightDir != "" {
 		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
@@ -175,13 +227,22 @@ func run(args []string, out io.Writer) error {
 		QueueDepth: *queue,
 		BatchMax:   *batch,
 		Observer:   observer,
+		SLO:        slo,
 	}, pool)
 	if err != nil {
 		return err
 	}
 
 	if *drive > 0 {
-		return driveCells(out, srv, *cells, *drive)
+		if err := driveCells(out, srv, *cells, *drive); err != nil {
+			return err
+		}
+		if slo != nil {
+			rep := slo.Report()
+			fmt.Fprintf(out, "mecd: slo state %s (burn %.2f over %s)\n",
+				rep.State, rep.Windows[0].Burn, rep.Windows[0].Window)
+		}
+		return nil
 	}
 
 	lis, err := net.Listen("tcp", *addr)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/mecsim/l4e"
+	"github.com/mecsim/l4e/internal/obs"
 )
 
 func TestDriveModeSmoke(t *testing.T) {
@@ -54,6 +55,90 @@ func TestDriveModeWithChaosAndFlight(t *testing.T) {
 		if len(runs) != 1 || len(runs[0].Slots) == 0 {
 			t.Fatalf("%s: %d runs, want 1 with slots", path, len(runs))
 		}
+	}
+}
+
+// TestDriveWithTraceAttribution is the tentpole's acceptance check: a -drive
+// run with tracing enabled yields one span tree per request whose per-stage
+// durations (queue wait + batch wait + solve) sum to within 10% of the
+// recorded end-to-end latency — in aggregate, so a single unlucky scheduler
+// preemption cannot flake the run.
+func TestDriveWithTraceAttribution(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "spans.jsonl")
+	var out strings.Builder
+	err := run([]string{
+		"-cells", "4", "-stations", "12", "-shards", "2", "-drive", "4",
+		"-trace", traceFile, "-slo-latency-ms", "1000",
+	}, &out)
+	if err != nil {
+		t.Fatalf("mecd -drive -trace: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "mecd: slo state ok") {
+		t.Errorf("SLO summary line missing:\n%s", out.String())
+	}
+
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatalf("trace artifact: %v", err)
+	}
+	events, err := obs.DecodeEvents(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+
+	type tree struct {
+		e2e    float64
+		stages float64
+		n      int
+	}
+	trees := map[string]*tree{}
+	for _, ev := range events {
+		if ev.Name != "span" || ev.Trace == "" {
+			continue
+		}
+		tr := trees[ev.Trace]
+		if tr == nil {
+			tr = &tree{}
+			trees[ev.Trace] = tr
+		}
+		dur, ok := ev.Fields["dur_ms"].(float64)
+		if !ok {
+			t.Fatalf("span without dur_ms: %+v", ev)
+		}
+		if ev.Span == "req" {
+			tr.e2e = dur
+		} else {
+			tr.stages += dur
+			tr.n++
+		}
+	}
+	// 4 cells x 4 slots, one trace per Decide (the drive loop never observes
+	// over HTTP, so no encode spans and no observe route).
+	if len(trees) != 16 {
+		t.Fatalf("recorded %d traces, want 16", len(trees))
+	}
+	var e2eTotal, stageTotal float64
+	for id, tr := range trees {
+		if tr.e2e <= 0 || tr.n < 4 { // queue_wait, batch_wait, solve, reply
+			t.Fatalf("trace %s incomplete: e2e=%v stages=%d", id, tr.e2e, tr.n)
+		}
+		e2eTotal += tr.e2e
+		stageTotal += tr.stages
+	}
+	if cov := stageTotal / e2eTotal; cov < 0.9 || cov > 1.0 {
+		t.Errorf("stages attribute %.1f%% of end-to-end latency, want within 10%%", 100*cov)
+	}
+}
+
+func TestSLOFlagValidation(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-cells", "1", "-stations", "12", "-drive", "1",
+		"-slo-latency-ms", "5", "-slo-windows", "not-a-duration",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-slo-windows") {
+		t.Errorf("bad -slo-windows accepted: %v", err)
 	}
 }
 

@@ -11,6 +11,13 @@
 //
 // With several artifacts (or a multi-run artifact), every run is analysed
 // and delay percentiles are reported side by side.
+//
+// -spans switches to the serving-path trace written by mecd -trace: the
+// request-scoped span trees are aggregated into a per-stage (queue wait /
+// batch coalesce / solve-by-tier / encode) latency-decomposition table:
+//
+//	mecd -cells 64 -drive 50 -trace spans.jsonl
+//	mecstat -spans spans.jsonl
 package main
 
 import (
@@ -38,24 +45,29 @@ func main() {
 const _maxTimelineRows = 40
 
 func run(out io.Writer, args []string) error {
-	var jsonOut bool
+	var jsonOut, spans bool
 	var paths []string
 	for _, a := range args {
 		switch a {
 		case "-json", "--json":
 			jsonOut = true
+		case "-spans", "--spans":
+			spans = true
 		case "-h", "-help", "--help":
-			fmt.Fprintln(out, "usage: mecstat [-json] artifact.jsonl ... ('-' reads stdin)")
+			fmt.Fprintln(out, "usage: mecstat [-json] [-spans] artifact.jsonl ... ('-' reads stdin)")
 			return nil
 		default:
 			if strings.HasPrefix(a, "-") && a != "-" {
-				return fmt.Errorf("unknown flag %q (usage: mecstat [-json] artifact.jsonl ...)", a)
+				return fmt.Errorf("unknown flag %q (usage: mecstat [-json] [-spans] artifact.jsonl ...)", a)
 			}
 			paths = append(paths, a)
 		}
 	}
 	if len(paths) == 0 {
-		return fmt.Errorf("no artifacts given (usage: mecstat [-json] artifact.jsonl ..., '-' reads stdin)")
+		return fmt.Errorf("no artifacts given (usage: mecstat [-json] [-spans] artifact.jsonl ..., '-' reads stdin)")
+	}
+	if spans {
+		return runSpans(out, paths, jsonOut)
 	}
 
 	var runs []obs.FlightRun

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/mecsim/l4e/internal/obs"
+)
+
+// writeSpanFixture records a small but realistic span set: three decide
+// requests (two simplex solves, one fallback) plus one observe request, each
+// with a root "req" span and queue_wait/batch_wait/solve/reply(/encode)
+// children sharing the trace ID — the shape mecd -trace produces.
+func writeSpanFixture(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	emit := func(ev obs.Event) {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(string(b) + "\n")
+	}
+	req := func(id, route string, e2e float64, stages map[string]float64, tier string) {
+		for st, dur := range stages {
+			f := map[string]any{"stage": st, "dur_ms": dur, "route": route}
+			if st == "solve" {
+				f["tier"] = tier
+			}
+			emit(obs.Event{Name: "span", Trace: id, Span: st, Parent: "req", Fields: f})
+		}
+		emit(obs.Event{Name: "span", Trace: id, Span: "req",
+			Fields: map[string]any{"stage": "e2e", "dur_ms": e2e, "route": route}})
+	}
+	req("r1", "decide", 10, map[string]float64{
+		"queue_wait": 1, "batch_wait": 0.5, "solve": 7, "reply": 0.5, "encode": 0.5}, "simplex")
+	req("r2", "decide", 20, map[string]float64{
+		"queue_wait": 2, "batch_wait": 1, "solve": 15, "reply": 1, "encode": 0.6}, "simplex")
+	req("r3", "decide", 12, map[string]float64{
+		"queue_wait": 1, "batch_wait": 0.5, "solve": 9, "reply": 0.6, "encode": 0.4}, "greedy")
+	req("r4", "observe", 4, map[string]float64{
+		"queue_wait": 0.5, "batch_wait": 0.5, "solve": 2, "reply": 0.5}, "observe")
+	// Non-span noise the analyser must skip.
+	emit(obs.Event{Name: "tick", Slot: 3})
+
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSpansDecompositionTable(t *testing.T) {
+	path := writeSpanFixture(t)
+	var out strings.Builder
+	if err := run(&out, []string{"-spans", path}); err != nil {
+		t.Fatalf("mecstat -spans: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"latency decomposition — route decide (3 requests)",
+		"latency decomposition — route observe (1 requests)",
+		"queue_wait", "batch_wait", "solve", "reply", "encode", "e2e",
+		"solve by tier: greedy n=1 mean=9.0000ms, simplex n=2 mean=11.0000ms",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// decide: stages sum 40.6 of 42ms e2e → 96.7% attributed.
+	if !strings.Contains(got, "stages attribute 96.7% of end-to-end latency") {
+		t.Errorf("coverage line wrong:\n%s", got)
+	}
+}
+
+func TestSpansJSON(t *testing.T) {
+	path := writeSpanFixture(t)
+	var out strings.Builder
+	if err := run(&out, []string{"-spans", "-json", path}); err != nil {
+		t.Fatalf("mecstat -spans -json: %v", err)
+	}
+	var doc struct {
+		Routes []spanRouteAnalysis `json:"routes"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("decode: %v\n%s", err, out.String())
+	}
+	if len(doc.Routes) != 2 {
+		t.Fatalf("routes = %d, want 2 (decide, observe)", len(doc.Routes))
+	}
+	dec := doc.Routes[0]
+	if dec.Route != "decide" || doc.Routes[1].Route != "observe" {
+		t.Fatalf("route order = %s, %s; want decide, observe", dec.Route, doc.Routes[1].Route)
+	}
+	if dec.Requests != 3 || dec.E2E.Count != 3 || dec.E2E.TotalMS != 42 {
+		t.Errorf("decide e2e digest = %+v, want 3 requests totalling 42ms", dec.E2E)
+	}
+	// Stages render in pipeline order.
+	var order []string
+	for _, s := range dec.Stages {
+		order = append(order, s.Stage)
+	}
+	want := []string{"queue_wait", "batch_wait", "solve", "reply", "encode"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("stage order = %v, want %v", order, want)
+	}
+	if math.Abs(dec.Coverage-40.6/42) > 1e-9 {
+		t.Errorf("decide coverage = %v, want %v", dec.Coverage, 40.6/42)
+	}
+	var solve spanStageStats
+	for _, s := range dec.Stages {
+		if s.Stage == "solve" {
+			solve = s
+		}
+	}
+	if solve.Count != 3 || solve.TotalMS != 31 || math.Abs(solve.Share-31.0/42) > 1e-9 {
+		t.Errorf("solve digest = %+v", solve)
+	}
+	if len(dec.SolveByTier) != 2 || dec.SolveByTier[0].Stage != "greedy" || dec.SolveByTier[1].Stage != "simplex" {
+		t.Errorf("solve tiers = %+v, want greedy then simplex", dec.SolveByTier)
+	}
+	obsRoute := doc.Routes[1]
+	if obsRoute.Requests != 1 || len(obsRoute.SolveByTier) != 1 || obsRoute.SolveByTier[0].Stage != "observe" {
+		t.Errorf("observe route = %+v", obsRoute)
+	}
+}
+
+func TestSpansTruncatedTrailingLine(t *testing.T) {
+	// A trace whose writer died before flushing ends in a torn line: the
+	// events before it must still analyse, with a note, like the flight
+	// reader's interrupted runs.
+	full, err := os.ReadFile(writeSpanFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(full, []byte(`{"name":"span","trace":"r9","span":"solve","fi`)...)
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(&out, []string{"-spans", path}); err != nil {
+		t.Fatalf("torn trace rejected: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "trailing line truncated") {
+		t.Errorf("truncation note missing:\n%s", got)
+	}
+	if !strings.Contains(got, "latency decomposition — route decide (3 requests)") {
+		t.Errorf("events before the torn line not analysed:\n%s", got)
+	}
+
+	// Mid-file corruption is data loss, not truncation: fail loudly.
+	bad := append([]byte("{not json}\n"), full...)
+	badPath := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(&out, []string{"-spans", badPath}); err == nil {
+		t.Error("mid-file corruption accepted")
+	}
+}
+
+func TestSpansNoSpanEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, []byte(`{"name":"tick","slot":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run(&out, []string{"-spans", path})
+	if err == nil || !strings.Contains(err.Error(), "no span events") {
+		t.Errorf("want 'no span events' error, got %v", err)
+	}
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// SLO health states reported by SLOTracker.Report (and mecd's /healthz).
+const (
+	// SLOStateOK: every burn-rate window is inside budget.
+	SLOStateOK = "ok"
+	// SLOStateDegraded: the error budget is burning faster than it accrues
+	// (burn >= DegradedBurn in every window) — the objective will be missed
+	// if the trend holds, but the server is still doing useful work.
+	SLOStateDegraded = "degraded"
+	// SLOStateOverloaded: the budget is burning at page-now rate
+	// (burn >= OverloadedBurn in every window) or the degradation ladder is
+	// carrying most of the traffic; a readiness probe should fail the node.
+	SLOStateOverloaded = "overloaded"
+)
+
+// SLOConfig parameterises a rolling-window SLO tracker. The zero value is
+// usable: every field has a serving-path default.
+type SLOConfig struct {
+	// LatencyObjectiveMS is the per-request latency objective: a request is
+	// "good" when its end-to-end latency is at most this many milliseconds.
+	// Default 5.
+	LatencyObjectiveMS float64
+	// LatencyTarget is the fraction of requests that must meet the latency
+	// objective (0.99 = "99% of requests under the bound"). Default 0.99.
+	LatencyTarget float64
+	// ErrorBudget is the largest acceptable fraction of failed requests
+	// (rejections, drains, cell errors). Default 0.001.
+	ErrorBudget float64
+	// Windows are the rolling burn-rate windows, shortest first (the classic
+	// multi-window pattern: the short window makes the signal recent, the
+	// long one filters blips). Seconds granularity; each window is clamped to
+	// [1s, 1h]. Default {1m, 10m}.
+	Windows []time.Duration
+	// DegradedBurn and OverloadedBurn are the burn-rate thresholds for the
+	// degraded and overloaded states. Burn rate 1 means the budget is
+	// consumed exactly as fast as it accrues. Defaults 1 and 8.
+	DegradedBurn   float64
+	OverloadedBurn float64
+	// OverloadedFallbackShare forces the overloaded state when at least this
+	// fraction of the shortest window's requests completed only through the
+	// degradation ladder (solver fallbacks / shed), regardless of burn rate.
+	// Default 0.5.
+	OverloadedFallbackShare float64
+	// Now is the clock, overridable by tests. nil means time.Now.
+	Now func() time.Time
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.LatencyObjectiveMS <= 0 {
+		c.LatencyObjectiveMS = 5
+	}
+	if c.LatencyTarget <= 0 || c.LatencyTarget >= 1 {
+		c.LatencyTarget = 0.99
+	}
+	if c.ErrorBudget <= 0 || c.ErrorBudget >= 1 {
+		c.ErrorBudget = 0.001
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []time.Duration{time.Minute, 10 * time.Minute}
+	}
+	ws := make([]time.Duration, len(c.Windows))
+	for i, w := range c.Windows {
+		if w < time.Second {
+			w = time.Second
+		}
+		if w > time.Hour {
+			w = time.Hour
+		}
+		ws[i] = w
+	}
+	c.Windows = ws
+	if c.DegradedBurn <= 0 {
+		c.DegradedBurn = 1
+	}
+	if c.OverloadedBurn <= 0 {
+		c.OverloadedBurn = 8
+	}
+	if c.OverloadedFallbackShare <= 0 || c.OverloadedFallbackShare > 1 {
+		c.OverloadedFallbackShare = 0.5
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// sloBucket accumulates one wall-clock second of request outcomes.
+type sloBucket struct {
+	sec      int64 // unix second this bucket currently holds
+	total    int64
+	slow     int64 // latency objective missed (successful requests only)
+	errors   int64
+	fallback int64 // served through the degradation ladder
+}
+
+// SLOTracker is a rolling-window SLO monitor for the serving path: every
+// request reports its end-to-end latency and outcome, and Report computes
+// per-window good/error fractions and burn rates against the configured
+// objectives, condensed into an ok/degraded/overloaded state.
+//
+// Storage is a fixed ring of per-second buckets sized by the longest window,
+// so memory is bounded and Record is O(1). Record and Report are
+// concurrent-safe.
+type SLOTracker struct {
+	cfg SLOConfig
+
+	mu      sync.Mutex
+	buckets []sloBucket
+}
+
+// NewSLOTracker builds a tracker (see SLOConfig for defaults).
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	cfg = cfg.withDefaults()
+	longest := cfg.Windows[0]
+	for _, w := range cfg.Windows {
+		if w > longest {
+			longest = w
+		}
+	}
+	return &SLOTracker{
+		cfg: cfg,
+		// +1: the current (partial) second coexists with a full window.
+		buckets: make([]sloBucket, int(longest.Seconds())+1),
+	}
+}
+
+// Config returns the tracker's effective (defaulted) configuration.
+func (t *SLOTracker) Config() SLOConfig { return t.cfg }
+
+// Record folds one finished request into the current second's bucket.
+// Failed requests count toward the error budget but not the latency
+// objective (a fast rejection is not a "good" request, and a slow failure
+// should not be double-counted).
+func (t *SLOTracker) Record(latencyMS float64, failed, fallback bool) {
+	if t == nil {
+		return
+	}
+	sec := t.cfg.Now().Unix()
+	if sec < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.bucket(sec)
+	b.total++
+	switch {
+	case failed:
+		b.errors++
+	case latencyMS > t.cfg.LatencyObjectiveMS:
+		b.slow++
+	}
+	if fallback {
+		b.fallback++
+	}
+}
+
+// bucket returns the ring slot for sec, recycling it if it holds stale data.
+// Callers hold t.mu.
+func (t *SLOTracker) bucket(sec int64) *sloBucket {
+	b := &t.buckets[int(sec%int64(len(t.buckets)))]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	return b
+}
+
+// SLOWindow is one burn-rate window's view in an SLOReport.
+type SLOWindow struct {
+	// Window is the window length in Go duration syntax ("1m0s").
+	Window  string `json:"window"`
+	Seconds int    `json:"seconds"`
+	Total   int64  `json:"total"`
+	Errors  int64  `json:"errors"`
+	Slow    int64  `json:"slow"`
+	// ErrorRate and SlowRate are fractions of Total (0 when idle).
+	ErrorRate float64 `json:"error_rate"`
+	SlowRate  float64 `json:"slow_rate"`
+	// ErrorBurn = ErrorRate / ErrorBudget; LatencyBurn = SlowRate /
+	// (1 - LatencyTarget); Burn is the larger of the two. Burn 1 means the
+	// budget is consumed exactly as fast as it accrues.
+	ErrorBurn   float64 `json:"error_burn"`
+	LatencyBurn float64 `json:"latency_burn"`
+	Burn        float64 `json:"burn"`
+	// FallbackShare is the fraction of requests served only through the
+	// degradation ladder.
+	FallbackShare float64 `json:"fallback_share"`
+}
+
+// SLOReport is the tracker's current view: the objectives, every window's
+// burn rates, and the condensed health state.
+type SLOReport struct {
+	State              string      `json:"state"`
+	LatencyObjectiveMS float64     `json:"latency_objective_ms"`
+	LatencyTarget      float64     `json:"latency_target"`
+	ErrorBudget        float64     `json:"error_budget"`
+	Windows            []SLOWindow `json:"windows"`
+}
+
+// Report computes the current multi-window burn rates and health state.
+// The state escalates only when EVERY window agrees (the multi-window AND),
+// so a one-second blip cannot flip a healthy server to overloaded, except
+// that a high ladder-fallback share in the shortest window forces
+// overloaded on its own — fallback-served traffic is already the last line
+// of defence.
+func (t *SLOTracker) Report() SLOReport {
+	rep := SLOReport{
+		State:              SLOStateOK,
+		LatencyObjectiveMS: t.cfg.LatencyObjectiveMS,
+		LatencyTarget:      t.cfg.LatencyTarget,
+		ErrorBudget:        t.cfg.ErrorBudget,
+	}
+	now := t.cfg.Now().Unix()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	minBurn := math.Inf(1)
+	for _, wd := range t.cfg.Windows {
+		secs := int(wd.Seconds())
+		w := SLOWindow{Window: wd.String(), Seconds: secs}
+		var fallback int64
+		for s := now - int64(secs) + 1; s <= now; s++ {
+			if s < 0 {
+				continue
+			}
+			b := &t.buckets[int(s%int64(len(t.buckets)))]
+			if b.sec != s {
+				continue // stale or never filled
+			}
+			w.Total += b.total
+			w.Errors += b.errors
+			w.Slow += b.slow
+			fallback += b.fallback
+		}
+		if w.Total > 0 {
+			w.ErrorRate = float64(w.Errors) / float64(w.Total)
+			w.SlowRate = float64(w.Slow) / float64(w.Total)
+			w.ErrorBurn = w.ErrorRate / t.cfg.ErrorBudget
+			w.LatencyBurn = w.SlowRate / (1 - t.cfg.LatencyTarget)
+			w.Burn = math.Max(w.ErrorBurn, w.LatencyBurn)
+			w.FallbackShare = float64(fallback) / float64(w.Total)
+		}
+		if w.Burn < minBurn {
+			minBurn = w.Burn
+		}
+		rep.Windows = append(rep.Windows, w)
+	}
+	switch {
+	case len(rep.Windows) > 0 && rep.Windows[0].Total > 0 &&
+		rep.Windows[0].FallbackShare >= t.cfg.OverloadedFallbackShare:
+		rep.State = SLOStateOverloaded
+	case minBurn >= t.cfg.OverloadedBurn:
+		rep.State = SLOStateOverloaded
+	case minBurn >= t.cfg.DegradedBurn:
+		rep.State = SLOStateDegraded
+	}
+	return rep
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for SLO tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newSLOUnderTest(cfg SLOConfig) (*SLOTracker, *fakeClock) {
+	clk := &fakeClock{now: time.Unix(1_000_000, 0)}
+	cfg.Now = clk.Now
+	return NewSLOTracker(cfg), clk
+}
+
+func TestSLODefaults(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{})
+	cfg := tr.Config()
+	if cfg.LatencyObjectiveMS != 5 || cfg.LatencyTarget != 0.99 || cfg.ErrorBudget != 0.001 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if len(cfg.Windows) != 2 || cfg.Windows[0] != time.Minute || cfg.Windows[1] != 10*time.Minute {
+		t.Errorf("default windows = %v", cfg.Windows)
+	}
+	rep := tr.Report()
+	if rep.State != SLOStateOK {
+		t.Errorf("idle tracker state = %q, want ok", rep.State)
+	}
+	if len(rep.Windows) != 2 || rep.Windows[0].Total != 0 {
+		t.Errorf("idle report windows = %+v", rep.Windows)
+	}
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var tr *SLOTracker
+	tr.Record(1, false, false) // must not panic
+}
+
+func TestSLOStateOKUnderGoodTraffic(t *testing.T) {
+	tr, _ := newSLOUnderTest(SLOConfig{LatencyObjectiveMS: 5, Windows: []time.Duration{10 * time.Second}})
+	for i := 0; i < 100; i++ {
+		tr.Record(1.0, false, false)
+	}
+	rep := tr.Report()
+	if rep.State != SLOStateOK {
+		t.Fatalf("state = %q, want ok (report %+v)", rep.State, rep.Windows)
+	}
+	if w := rep.Windows[0]; w.Total != 100 || w.Slow != 0 || w.Errors != 0 || w.Burn != 0 {
+		t.Errorf("window = %+v", w)
+	}
+}
+
+func TestSLOLatencyBurnDegrades(t *testing.T) {
+	// Target 0.99 → slow budget 1%. 5 slow of 100 = 5% slow → burn 5:
+	// past DegradedBurn (1) but short of OverloadedBurn (8).
+	tr, _ := newSLOUnderTest(SLOConfig{LatencyObjectiveMS: 5, Windows: []time.Duration{10 * time.Second}})
+	for i := 0; i < 95; i++ {
+		tr.Record(1.0, false, false)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Record(50.0, false, false)
+	}
+	rep := tr.Report()
+	if rep.State != SLOStateDegraded {
+		t.Fatalf("state = %q, want degraded (window %+v)", rep.State, rep.Windows[0])
+	}
+	if w := rep.Windows[0]; w.LatencyBurn < 4.9 || w.LatencyBurn > 5.1 {
+		t.Errorf("latency burn = %v, want ~5", w.LatencyBurn)
+	}
+}
+
+func TestSLOErrorBurnOverloads(t *testing.T) {
+	// Error budget 0.001; 10% errors → burn 100 ≥ OverloadedBurn.
+	tr, _ := newSLOUnderTest(SLOConfig{Windows: []time.Duration{10 * time.Second}})
+	for i := 0; i < 90; i++ {
+		tr.Record(1.0, false, false)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Record(0.1, true, false)
+	}
+	rep := tr.Report()
+	if rep.State != SLOStateOverloaded {
+		t.Fatalf("state = %q, want overloaded", rep.State)
+	}
+	if w := rep.Windows[0]; w.Errors != 10 || w.Slow != 0 {
+		t.Errorf("window = %+v (fast failures must not also count slow)", w)
+	}
+}
+
+func TestSLOFallbackShareForcesOverloaded(t *testing.T) {
+	// All requests fast and successful, but 60% served via the degradation
+	// ladder: the fallback-share override must fire on its own.
+	tr, _ := newSLOUnderTest(SLOConfig{Windows: []time.Duration{10 * time.Second}})
+	for i := 0; i < 40; i++ {
+		tr.Record(1.0, false, false)
+	}
+	for i := 0; i < 60; i++ {
+		tr.Record(1.0, false, true)
+	}
+	rep := tr.Report()
+	if rep.State != SLOStateOverloaded {
+		t.Fatalf("state = %q, want overloaded via fallback share", rep.State)
+	}
+	if s := rep.Windows[0].FallbackShare; s < 0.59 || s > 0.61 {
+		t.Errorf("fallback share = %v, want 0.6", s)
+	}
+}
+
+func TestSLOMultiWindowAND(t *testing.T) {
+	// A burst of errors inside the short window only: the long window has
+	// enough good history that its burn stays low, so the state must NOT
+	// escalate (multi-window AND).
+	tr, clk := newSLOUnderTest(SLOConfig{
+		ErrorBudget: 0.02, // 5 errors over ~405 requests burns < 1 long-window
+		Windows:     []time.Duration{5 * time.Second, 500 * time.Second},
+	})
+	for i := 0; i < 400; i++ {
+		tr.Record(1.0, false, false)
+		clk.Advance(time.Second)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Record(1.0, true, false)
+	}
+	rep := tr.Report()
+	if short := rep.Windows[0]; short.Burn < 1 {
+		t.Fatalf("short-window burn = %v, want >= 1 (errors landed there)", short.Burn)
+	}
+	if rep.State != SLOStateOK {
+		t.Errorf("state = %q, want ok: the long window has not confirmed the burn", rep.State)
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	// Errors age out of the window as the clock advances past it.
+	tr, clk := newSLOUnderTest(SLOConfig{Windows: []time.Duration{5 * time.Second}})
+	for i := 0; i < 10; i++ {
+		tr.Record(1.0, true, false)
+	}
+	if rep := tr.Report(); rep.State == SLOStateOK {
+		t.Fatal("errors in-window should escalate")
+	}
+	clk.Advance(6 * time.Second)
+	rep := tr.Report()
+	if rep.State != SLOStateOK {
+		t.Errorf("state = %q after the window passed, want ok", rep.State)
+	}
+	if rep.Windows[0].Total != 0 {
+		t.Errorf("window total = %d after expiry, want 0", rep.Windows[0].Total)
+	}
+}
+
+func TestSLORingRecycling(t *testing.T) {
+	// Traffic spanning many ring laps must not double-count stale buckets.
+	tr, clk := newSLOUnderTest(SLOConfig{Windows: []time.Duration{3 * time.Second}})
+	for i := 0; i < 50; i++ {
+		tr.Record(1.0, false, false)
+		clk.Advance(time.Second)
+	}
+	rep := tr.Report()
+	// Clock advanced after the last Record, so the window holds the last
+	// records that still fall inside it.
+	if got := rep.Windows[0].Total; got != 2 {
+		t.Errorf("window total = %d, want 2 (one per second inside a 3s window ending after the last advance)", got)
+	}
+}
+
+func TestSLOConcurrentRecordReport(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{Windows: []time.Duration{2 * time.Second}})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(float64(i%10), i%97 == 0, i%31 == 0)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		_ = tr.Report()
+	}
+	wg.Wait()
+	if total := tr.Report(); len(total.Windows) != 1 {
+		t.Errorf("windows = %+v", total.Windows)
+	}
+}

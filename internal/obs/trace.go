@@ -24,6 +24,15 @@ type Event struct {
 	Name string `json:"event"`
 	// Policy is the emitting policy's display name, when applicable.
 	Policy string `json:"policy,omitempty"`
+	// Trace groups the spans of one request-scoped trace — all events that
+	// belong to a single served request carry the same Trace ID (e.g. mecd's
+	// per-request "r000042"). Empty for events outside any request.
+	Trace string `json:"trace,omitempty"`
+	// Span names this span within its trace; Parent names the span it nests
+	// under. The root span of a trace has an empty Parent. Both are empty for
+	// plain (non-span) events, so the pre-span schema is a strict subset.
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
 	// Fields holds the event-specific payload.
 	Fields Fields `json:"fields,omitempty"`
 }

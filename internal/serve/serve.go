@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
@@ -63,12 +64,25 @@ type Config struct {
 	// BatchMax caps how many pending requests one shard tick coalesces into
 	// a single solve pass. Default 16.
 	BatchMax int
-	// RetryAfter is the hint advertised on 429 responses. Default 1s.
+	// RetryAfter is the hint advertised on 429 responses before any drain
+	// observation exists; once a shard has observed queue waits the hint is
+	// grounded in that shard's measured drain instead (see retryAfterSecs).
+	// Default 1s.
 	RetryAfter time.Duration
 	// Observer receives the serving layer's labeled series
 	// (serve.requests{cell,route}, serve.batch_size, serve.queue_depth,
-	// serve.rejected). nil disables instrumentation.
+	// serve.rejected) and, when enabled, the per-stage latency attribution:
+	// serve.e2e_ms{route}, serve.queue_wait_ms{shard}, serve.batch_wait_ms,
+	// serve.solve_ms{tier}, serve.reply_ms, serve.encode_ms. With a trace
+	// writer or live subscriber attached it also emits one request-scoped
+	// span tree per request (root "req" plus queue_wait / batch_wait / solve
+	// / reply / encode children). nil disables instrumentation.
 	Observer *obs.Observer
+	// SLO attaches a rolling-window SLO tracker fed by every request's
+	// end-to-end latency and outcome; /slo serves its report and /healthz
+	// becomes readiness-aware (ok/degraded/overloaded from burn rates and
+	// ladder-fallback share). nil disables SLO tracking.
+	SLO *obs.SLOTracker
 }
 
 func (c *Config) withDefaults() Config {
@@ -102,7 +116,35 @@ type task struct {
 	vols   []float64
 	played map[int]float64
 	done   chan taskResult
+	// rc is the request's span context; enq is the enqueue timestamp the
+	// queue-wait stage is measured from. Both are zero when timing is off.
+	rc  *reqCtx
+	enq time.Time
 }
+
+// reqCtx is the per-request span context threaded from ingest to the shard
+// worker: one ID per request, the ingest timestamp, and the route label.
+// Every stage of the request — queue wait, batch coalesce, solve, encode —
+// reports its duration against this context, so the stages of one request
+// share a trace ID and sum to (within scheduler noise) the end-to-end
+// latency.
+type reqCtx struct {
+	trace string    // trace ID; "" when no trace consumer is attached
+	route string    // "decide" | "observe"
+	start time.Time // ingest time; zero when timing is disabled entirely
+	// execEnd is stamped by the shard worker the moment the task's execution
+	// (and its stage bookkeeping) finished, just before the result is sent
+	// back; finish derives the reply stage — the cross-goroutine handoff the
+	// caller pays — from it. The worker's write happens-before the caller's
+	// read via the task's done channel.
+	execEnd time.Time
+}
+
+// timed reports whether this request records stage durations.
+func (rc *reqCtx) timed() bool { return rc != nil && !rc.start.IsZero() }
+
+// ms converts a duration to float milliseconds (the repo's latency unit).
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 type taskResult struct {
 	dec  *sim.CellDecision
@@ -123,6 +165,21 @@ type managedCell struct {
 type shard struct {
 	id    int
 	queue chan task
+	label string
+	// waitEWMA is the shard's drain estimate: an exponentially weighted
+	// moving average (alpha 1/8) of observed queue waits, in nanoseconds.
+	// Written only by the owning worker, read lock-free by retryAfterSecs.
+	waitEWMA atomic.Int64
+}
+
+// noteWait folds one observed queue wait into the shard's drain estimate.
+func (sh *shard) noteWait(d time.Duration) {
+	old := sh.waitEWMA.Load()
+	if old == 0 {
+		sh.waitEWMA.Store(int64(d))
+		return
+	}
+	sh.waitEWMA.Store(old + (int64(d)-old)/8)
 }
 
 // Server multiplexes decide/observe traffic over a pool of cells.
@@ -131,6 +188,12 @@ type Server struct {
 	cells  []*managedCell
 	shards []*shard
 	obs    *obs.Observer
+	slo    *obs.SLOTracker
+	// timed gates every stage timestamp: with no observer and no SLO
+	// tracker the serving path takes zero clock readings, so the disabled
+	// path stays exactly the pre-attribution hot path.
+	timed  bool
+	reqSeq atomic.Uint64
 
 	mu       sync.RWMutex // guards draining vs enqueue
 	draining bool
@@ -151,7 +214,8 @@ func New(cfg Config, cells []*sim.Cell) (*Server, error) {
 	if cfg.Shards > len(cells) {
 		cfg.Shards = len(cells)
 	}
-	s := &Server{cfg: cfg, obs: cfg.Observer, started: time.Now()}
+	s := &Server{cfg: cfg, obs: cfg.Observer, slo: cfg.SLO, started: time.Now()}
+	s.timed = s.obs.Enabled() || s.slo != nil
 	for id, c := range cells {
 		if c == nil {
 			return nil, fmt.Errorf("serve: cell %d is nil", id)
@@ -162,7 +226,7 @@ func New(cfg Config, cells []*sim.Cell) (*Server, error) {
 		s.cells = append(s.cells, mc)
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh := &shard{id: i, queue: make(chan task, cfg.QueueDepth)}
+		sh := &shard{id: i, queue: make(chan task, cfg.QueueDepth), label: "s" + strconv.Itoa(i)}
 		s.shards = append(s.shards, sh)
 		s.wg.Add(1)
 		go s.worker(sh)
@@ -181,7 +245,6 @@ func (s *Server) NumShards() int { return len(s.shards) }
 func (s *Server) worker(sh *shard) {
 	defer s.wg.Done()
 	batch := make([]task, 0, s.cfg.BatchMax)
-	label := "s" + strconv.Itoa(sh.id)
 	for tk := range sh.queue {
 		batch = append(batch[:0], tk)
 		for len(batch) < s.cfg.BatchMax {
@@ -196,14 +259,126 @@ func (s *Server) worker(sh *shard) {
 			}
 			break
 		}
+		// deq marks the batch-formation instant: everything before it is
+		// queue wait, everything between it and a task's own execute start
+		// is batch-coalesce wait (the time spent solving earlier tasks of
+		// the same batch).
+		var deq time.Time
+		if s.timed {
+			deq = time.Now()
+		}
 		if s.obs.Enabled() {
 			s.obs.ObserveWith("serve.batch_size", BatchSizeBuckets, float64(len(batch)))
-			s.obs.SetL("serve.queue_depth", float64(len(sh.queue)), obs.L("shard", label)...)
+			s.obs.SetL("serve.queue_depth", float64(len(sh.queue)), obs.L("shard", sh.label)...)
 		}
 		for _, t := range batch {
-			t.done <- s.execute(t)
+			t.done <- s.executeTimed(sh, t, deq)
 		}
 	}
+}
+
+// executeTimed wraps execute with the per-stage attribution: queue wait
+// (enqueue → batch formation), batch wait (batch formation → this task's
+// execute), and solve (the cell call itself, labeled by the degradation-
+// ladder tier that produced it). Stages land in the labeled histograms and,
+// when a trace consumer is attached, as child spans of the request's trace.
+func (s *Server) executeTimed(sh *shard, t task, deq time.Time) taskResult {
+	if !t.rc.timed() || deq.IsZero() {
+		return s.execute(t)
+	}
+	execStart := time.Now()
+	res := s.execute(t)
+	solve := time.Since(execStart)
+	queueWait := deq.Sub(t.enq)
+	batchWait := execStart.Sub(deq)
+	sh.noteWait(queueWait)
+	tier := "observe"
+	if t.kind == taskDecide {
+		tier = "none"
+		if res.dec != nil && res.dec.Solver != "" {
+			tier = res.dec.Solver
+		}
+	}
+	if s.obs.Enabled() {
+		s.obs.ObserveL("serve.queue_wait_ms", ms(queueWait), obs.L("shard", sh.label)...)
+		s.obs.Observe("serve.batch_wait_ms", ms(batchWait))
+		s.obs.ObserveL("serve.solve_ms", ms(solve), obs.L("tier", tier)...)
+	}
+	if t.rc.trace != "" && s.obs.TraceEnabled() {
+		s.emitSpan(t.rc, "queue_wait", res.slot, ms(queueWait), obs.Fields{"shard": sh.id})
+		s.emitSpan(t.rc, "batch_wait", res.slot, ms(batchWait), nil)
+		s.emitSpan(t.rc, "solve", res.slot, ms(solve), obs.Fields{"tier": tier, "cell": t.cell.id})
+	}
+	t.rc.execEnd = time.Now()
+	return res
+}
+
+// emitSpan emits one child span of a request's trace. The root span (stage
+// "e2e", span ID "req") is emitted by finish; children parent onto it.
+func (s *Server) emitSpan(rc *reqCtx, stage string, slot int, durMS float64, extra obs.Fields) {
+	f := obs.Fields{"stage": stage, "dur_ms": durMS, "route": rc.route}
+	for k, v := range extra {
+		f[k] = v
+	}
+	s.obs.Emit(obs.Event{Slot: slot, Name: "span", Trace: rc.trace, Span: stage, Parent: "req", Fields: f})
+}
+
+// newReqCtx opens a request's span context at ingest time. When timing is
+// disabled entirely it returns a zero context that every stage hook treats
+// as "don't measure".
+func (s *Server) newReqCtx(route string) *reqCtx {
+	rc := &reqCtx{route: route}
+	if s.timed {
+		rc.start = time.Now()
+	}
+	if s.obs.TraceEnabled() {
+		rc.trace = "r" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+	}
+	return rc
+}
+
+// finish seals a request: the end-to-end latency histogram, the root span,
+// the encode child span (HTTP path only; zero elsewhere), and the SLO
+// record. degraded marks decisions served only through the degradation
+// ladder, which feeds the SLO tracker's fallback share.
+func (s *Server) finish(rc *reqCtx, slot int, err error, degraded bool, encode time.Duration) {
+	if !rc.timed() {
+		return
+	}
+	now := time.Now()
+	e2e := now.Sub(rc.start)
+	// reply is the tail the caller pays after the worker finished: the done-
+	// channel handoff plus the caller goroutine's rescheduling (minus the
+	// separately measured encode, which also happens in that interval).
+	var reply time.Duration
+	if !rc.execEnd.IsZero() {
+		if reply = now.Sub(rc.execEnd) - encode; reply < 0 {
+			reply = 0
+		}
+	}
+	if s.obs.Enabled() {
+		s.obs.ObserveL("serve.e2e_ms", ms(e2e), obs.L("route", rc.route)...)
+		if encode > 0 {
+			s.obs.Observe("serve.encode_ms", ms(encode))
+		}
+		if !rc.execEnd.IsZero() {
+			s.obs.Observe("serve.reply_ms", ms(reply))
+		}
+	}
+	if rc.trace != "" && s.obs.TraceEnabled() {
+		if !rc.execEnd.IsZero() {
+			s.emitSpan(rc, "reply", slot, ms(reply), nil)
+		}
+		if encode > 0 {
+			s.emitSpan(rc, "encode", slot, ms(encode), nil)
+		}
+		f := obs.Fields{"stage": "e2e", "dur_ms": ms(e2e), "route": rc.route}
+		if err != nil {
+			f["error"] = err.Error()
+		}
+		s.obs.Emit(obs.Event{Slot: slot, Name: "span", Trace: rc.trace, Span: "req", Fields: f})
+	}
+	s.slo.Record(ms(e2e), err != nil, degraded)
 }
 
 // execute runs one task on its cell (serialized per shard by construction).
@@ -240,6 +415,9 @@ func (s *Server) submit(t task) error {
 	if s.draining {
 		return ErrDraining
 	}
+	if t.rc.timed() {
+		t.enq = time.Now()
+	}
 	select {
 	case s.shards[t.cell.shard].queue <- t:
 		return nil
@@ -264,8 +442,21 @@ func (s *Server) call(t task) (taskResult, error) {
 // Decide plays the next slot of cell id, optionally overriding the slot's
 // realised demand vector. It is the programmatic twin of POST /v1/decide and
 // applies the same backpressure (ErrQueueFull is a rejection, not an error
-// of the cell).
+// of the cell). End-to-end latency on this path covers ingest → queue wait →
+// batch wait → solve (no encode stage).
 func (s *Server) Decide(id int, volumes []float64) (*sim.CellDecision, error) {
+	rc := s.newReqCtx("decide")
+	dec, err := s.decide(rc, id, volumes)
+	slot := 0
+	degraded := false
+	if dec != nil {
+		slot, degraded = dec.Slot, dec.Degraded
+	}
+	s.finish(rc, slot, err, degraded, 0)
+	return dec, err
+}
+
+func (s *Server) decide(rc *reqCtx, id int, volumes []float64) (*sim.CellDecision, error) {
 	mc, err := s.lookup(id)
 	if err != nil {
 		return nil, err
@@ -273,7 +464,7 @@ func (s *Server) Decide(id int, volumes []float64) (*sim.CellDecision, error) {
 	if s.obs.Enabled() {
 		s.obs.IncL("serve.requests", obs.L("cell", cellLabel(id), "route", "decide")...)
 	}
-	res, err := s.call(task{kind: taskDecide, cell: mc, vols: volumes})
+	res, err := s.call(task{kind: taskDecide, cell: mc, vols: volumes, rc: rc})
 	if err != nil {
 		return nil, err
 	}
@@ -284,18 +475,25 @@ func (s *Server) Decide(id int, volumes []float64) (*sim.CellDecision, error) {
 // arguments apply the decision's own realised measurements). The programmatic
 // twin of POST /v1/observe.
 func (s *Server) Observe(id int, played map[int]float64, volumes []float64) error {
+	rc := s.newReqCtx("observe")
+	slot, err := s.observe(rc, id, played, volumes)
+	s.finish(rc, slot, err, false, 0)
+	return err
+}
+
+func (s *Server) observe(rc *reqCtx, id int, played map[int]float64, volumes []float64) (int, error) {
 	mc, err := s.lookup(id)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if s.obs.Enabled() {
 		s.obs.IncL("serve.requests", obs.L("cell", cellLabel(id), "route", "observe")...)
 	}
-	res, err := s.call(task{kind: taskObserve, cell: mc, played: played, vols: volumes})
+	res, err := s.call(task{kind: taskObserve, cell: mc, played: played, vols: volumes, rc: rc})
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return res.err
+	return res.slot, res.err
 }
 
 // errUnknownCell marks out-of-range cell IDs (a caller error → HTTP 400).
@@ -392,16 +590,15 @@ type observeRequest struct {
 //	POST /v1/decide   {"cell":N,"volumes":[...]}   → CellDecision
 //	POST /v1/observe  {"cell":N,"delays":{"3":12}} → ack
 //	GET  /v1/cells                                 → per-cell status
-//	GET  /healthz                                  → ok
+//	GET  /slo                                      → SLO burn-rate report
+//	GET  /healthz                                  → ok|degraded|overloaded|draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/decide", s.handleDecide)
 	mux.HandleFunc("/v1/observe", s.handleObserve)
 	mux.HandleFunc("/v1/cells", s.handleCells)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/slo", s.handleSLO)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
 
@@ -410,20 +607,24 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	rc := s.newReqCtx("decide")
 	var req decideRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		s.finish(rc, 0, err, false, 0)
 		return
 	}
-	dec, err := s.Decide(req.Cell, req.Volumes)
+	dec, err := s.decide(rc, req.Cell, req.Volumes)
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, err, req.Cell)
+		s.finish(rc, 0, err, false, 0)
 		return
 	}
-	writeJSON(w, struct {
+	encode := s.writeJSONTimed(rc, w, struct {
 		Cell int `json:"cell"`
 		*sim.CellDecision
 	}{req.Cell, dec})
+	s.finish(rc, dec.Slot, nil, dec.Degraded, encode)
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
@@ -431,9 +632,11 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	rc := s.newReqCtx("observe")
 	var req observeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		s.finish(rc, 0, err, false, 0)
 		return
 	}
 	var played map[int]float64
@@ -443,19 +646,59 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			i, err := strconv.Atoi(k)
 			if err != nil {
 				http.Error(w, fmt.Sprintf("bad station id %q", k), http.StatusBadRequest)
+				s.finish(rc, 0, fmt.Errorf("bad station id %q", k), false, 0)
 				return
 			}
 			played[i] = v
 		}
 	}
-	if err := s.Observe(req.Cell, played, req.Volumes); err != nil {
-		s.writeErr(w, err)
+	slot, err := s.observe(rc, req.Cell, played, req.Volumes)
+	if err != nil {
+		s.writeErr(w, err, req.Cell)
+		s.finish(rc, slot, err, false, 0)
 		return
 	}
-	writeJSON(w, struct {
+	encode := s.writeJSONTimed(rc, w, struct {
 		Cell     int  `json:"cell"`
 		Observed bool `json:"observed"`
 	}{req.Cell, true})
+	s.finish(rc, slot, nil, false, encode)
+}
+
+// handleSLO serves the SLO tracker's burn-rate report.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.slo == nil {
+		http.Error(w, "no SLO tracker configured (start mecd with -slo-latency-ms)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.slo.Report())
+}
+
+// handleHealthz is the readiness-aware health probe: a draining server
+// reports 503 "draining"; with an SLO tracker attached the body is the
+// tracker's ok/degraded/overloaded state (overloaded → 503, so a load
+// balancer stops routing while degraded still serves); without one it is
+// the plain liveness "ok".
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	state, code := "ok", http.StatusOK
+	switch {
+	case draining:
+		state, code = "draining", http.StatusServiceUnavailable
+	case s.slo != nil:
+		if state = s.slo.Report().State; state == obs.SLOStateOverloaded {
+			code = http.StatusServiceUnavailable
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	fmt.Fprintln(w, state)
 }
 
 func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
@@ -471,13 +714,61 @@ func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 	}{len(s.shards), s.cfg.BatchMax, time.Since(s.started).Seconds(), s.Cells()})
 }
 
+// retryAfterSecs grounds the 429 Retry-After hint in the target shard's
+// observed drain: the queue-wait EWMA is how long recently enqueued work
+// waited before service, which is exactly how long a retry arriving at the
+// same backlog should expect to wait — so it is also roughly when the full
+// queue will have made room. Before any wait has been observed (or with
+// timing disabled, when no waits are measured) the configured constant
+// applies. The hint is clamped to [1s, 60s]: HTTP Retry-After has whole-
+// second granularity and a saturated shard should not park clients forever.
+func (s *Server) retryAfterSecs(shard int) int {
+	fallback := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+	if fallback < 1 {
+		fallback = 1
+	}
+	if shard < 0 || shard >= len(s.shards) {
+		return fallback
+	}
+	ewma := time.Duration(s.shards[shard].waitEWMA.Load())
+	if ewma <= 0 {
+		return fallback
+	}
+	secs := int(math.Ceil(ewma.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// writeJSONTimed encodes the response body and returns the encode duration
+// when the request is timed (zero otherwise, so finish skips the stage).
+func (s *Server) writeJSONTimed(rc *reqCtx, w http.ResponseWriter, v any) time.Duration {
+	if !rc.timed() {
+		writeJSON(w, v)
+		return 0
+	}
+	start := time.Now()
+	writeJSON(w, v)
+	return time.Since(start)
+}
+
 // writeErr maps serving errors onto HTTP statuses: backpressure → 429 with a
-// Retry-After hint, draining → 503, protocol misuse (observe with nothing
-// pending) → 409, bad input → 400.
-func (s *Server) writeErr(w http.ResponseWriter, err error) {
+// Retry-After hint grounded in the rejecting shard's observed drain rate,
+// draining → 503, protocol misuse (observe with nothing pending) → 409, bad
+// input → 400. cell is the request's target cell (used only to locate the
+// shard behind a 429).
+func (s *Server) writeErr(w http.ResponseWriter, err error, cell int) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		shard := -1
+		if len(s.shards) > 0 && cell >= 0 && cell < len(s.cells) {
+			shard = s.cells[cell].shard
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs(shard)))
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 	case errors.Is(err, ErrDraining):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)

@@ -115,6 +115,11 @@ type CellDecision struct {
 	// DecideFailed reports that the policy's Decide errored and the greedy
 	// fallback assignment was substituted.
 	DecideFailed bool `json:"decide_failed,omitempty"`
+	// Solver is the degradation-ladder tier that produced the slot's
+	// relaxation ("simplex", "flow", "greedy"); empty for policies that do
+	// not solve a relaxation (e.g. the greedy baselines). The serving layer
+	// labels its per-stage solve histogram with this tier.
+	Solver string `json:"solver,omitempty"`
 	// FallbackSolves and Shed count the slot's engaged degradation rungs.
 	FallbackSolves int `json:"fallback_solves,omitempty"`
 	Shed           int `json:"shed,omitempty"`
@@ -513,6 +518,7 @@ func (c *Cell) Decide(volumes []float64) (*CellDecision, error) {
 		Feasible:       feasible,
 		Degraded:       degraded,
 		DecideFailed:   decideFailed,
+		Solver:         string(deg.Solver),
 		FallbackSolves: deg.FallbackSolves,
 		Shed:           deg.RepairViolations,
 		FaultsInjected: faultCount(eff),

@@ -81,7 +81,29 @@ type (
 	DecisionServerConfig = serve.Config
 	// DecisionCellInfo is one cell's status row in DecisionServer.Cells.
 	DecisionCellInfo = serve.CellInfo
+	// SLOTracker is a rolling-window SLO monitor for the serving path: attach
+	// one via DecisionServerConfig.SLO and the daemon feeds it every request's
+	// end-to-end latency and outcome; /slo serves its report and /healthz
+	// becomes readiness-aware (see NewSLOTracker).
+	SLOTracker = obs.SLOTracker
+	// SLOConfig parameterises NewSLOTracker (latency/error objectives,
+	// burn-rate windows and thresholds). The zero value is usable.
+	SLOConfig = obs.SLOConfig
+	// SLOReport is an SLOTracker's current view: per-window burn rates plus
+	// the condensed ok/degraded/overloaded state.
+	SLOReport = obs.SLOReport
 )
+
+// SLO health states reported by SLOTracker.Report and mecd's /healthz.
+const (
+	SLOStateOK         = obs.SLOStateOK
+	SLOStateDegraded   = obs.SLOStateDegraded
+	SLOStateOverloaded = obs.SLOStateOverloaded
+)
+
+// NewSLOTracker builds a rolling-window SLO tracker for the decision server
+// (see SLOConfig; every field of the zero value gets a serving default).
+func NewSLOTracker(cfg SLOConfig) *SLOTracker { return obs.NewSLOTracker(cfg) }
 
 // Decision-server sentinel errors, re-exported so daemon clients (and
 // cmd/mecd's self-drive loop) can branch on backpressure vs shutdown.
