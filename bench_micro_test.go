@@ -99,6 +99,91 @@ func BenchmarkSolveLPExact(b *testing.B) {
 	}
 }
 
+// driftBenchVolumes gives ~10% of requests a small demand jitter around their
+// original volume (the bursty-slot change pattern: most requests quiet, a few
+// moving).
+func driftBenchVolumes(rng *rand.Rand, p *caching.Problem, base []float64) {
+	for l := range p.Requests {
+		if rng.Float64() < 0.1 {
+			p.Requests[l].Volume = base[l] * (0.9 + 0.2*rng.Float64())
+		}
+	}
+}
+
+// incrementalBenchModes are the four solve paths the incremental benches pit
+// against each other. fresh/workspace/warm see the identical per-iteration
+// drift and differ only in how much state they carry across slots; skip
+// replays an unchanged slot, measuring pure change-detection overhead.
+var incrementalBenchModes = []string{"fresh", "workspace", "warm", "skip"}
+
+// BenchmarkIncrementalFlow measures the min-cost-flow path at experiment
+// scale under bursty demand drift (~10% of requests jitter per slot, the
+// paper's bursty-user pattern): fresh allocation vs workspace reuse (both
+// re-solve from scratch) vs incremental repair that re-routes only the
+// changed requests, plus the unchanged-slot skip.
+func BenchmarkIncrementalFlow(b *testing.B) {
+	for _, mode := range incrementalBenchModes {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			p := benchCachingProblem(31, 40, 20, 5)
+			base := make([]float64, len(p.Requests))
+			for l := range p.Requests {
+				base[l] = p.Requests[l].Volume
+			}
+			rng := rand.New(rand.NewSource(32))
+			var ws *caching.Workspace
+			if mode != "fresh" {
+				ws = caching.NewWorkspace()
+				ws.EnableIncremental(mode == "warm" || mode == "skip")
+				if _, err := p.SolveLPFlowWS(ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode != "skip" {
+					driftBenchVolumes(rng, p, base)
+				}
+				if _, err := p.SolveLPFlowWS(ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalExact measures the dense-simplex path at its dispatch
+// scale under cost-only drift (delays move, volumes fixed, so the constraint
+// matrix stays bitwise identical and the warm path can reuse the previous
+// basis): fresh vs workspace re-solves vs the basis-warm-started solve, plus
+// the unchanged-slot skip.
+func BenchmarkIncrementalExact(b *testing.B) {
+	for _, mode := range incrementalBenchModes {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			p := benchCachingProblem(33, 8, 6, 3)
+			rng := rand.New(rand.NewSource(34))
+			var ws *caching.Workspace
+			if mode != "fresh" {
+				ws = caching.NewWorkspace()
+				ws.EnableIncremental(mode == "warm" || mode == "skip")
+				if _, err := p.SolveLPExactWS(ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode != "skip" {
+					driftBenchDelays(rng, p)
+				}
+				if _, err := p.SolveLPExactWS(ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkLSTMStep measures one LSTM forward+backward over a GAN-sized
 // window; after the first pass the layer's scratch pools make the step
 // allocation-free.

@@ -82,6 +82,72 @@ func TestChaosMatrix(t *testing.T) {
 	}
 }
 
+// TestChaosIncrementalWarmStateSurvivesFaults extends the matrix to the
+// incremental policy: warm-started solves must keep firing around injected
+// faults without ever poisoning the carried solver state. For each spec the
+// incremental run completes its horizon, stays within the documented 1e-6
+// warm-solve tolerance of the cold OL_GD run slot by slot, and replays
+// bit-identically — a fault that corrupted the carried basis, flow graph, or
+// potentials would show up as divergence on the post-fault slots.
+func TestChaosIncrementalWarmStateSurvivesFaults(t *testing.T) {
+	specs := map[string]string{
+		"outage":   "outage:0.3:2",
+		"blackout": "blackout:4:2",
+		"combined": "regional:0.2:2,feedback:0.2:0.1,spike:0.2:3:2",
+	}
+	for label, spec := range specs {
+		label, spec := label, spec
+		t.Run(label, func(t *testing.T) {
+			t.Parallel()
+			run := func(policy string) *Result {
+				s := chaosScenario(t, spec)
+				p, err := s.NewPolicy(policy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run(p)
+				if err != nil {
+					t.Fatalf("%s under %q aborted: %v", policy, spec, err)
+				}
+				return res
+			}
+			inc := run("OL_GD/incremental")
+			if got := len(inc.PerSlotDelayMS); got != 12 {
+				t.Fatalf("horizon truncated to %d slots", got)
+			}
+			if inc.FaultsInjected == 0 {
+				t.Fatal("no faults injected; the survival check is vacuous")
+			}
+			if inc.WarmSolves == 0 {
+				t.Error("no warm solves despite incremental policy")
+			}
+			cold := run("OL_GD")
+			for tt, d := range inc.PerSlotDelayMS {
+				if math.IsNaN(d) || math.IsInf(d, 0) {
+					t.Fatalf("slot %d delay %v not finite", tt, d)
+				}
+				if diff := math.Abs(d - cold.PerSlotDelayMS[tt]); diff > 1e-6*(1+math.Abs(cold.PerSlotDelayMS[tt])) {
+					t.Errorf("slot %d: incremental %v vs cold %v beyond warm tolerance",
+						tt, d, cold.PerSlotDelayMS[tt])
+				}
+			}
+			replay := run("OL_GD/incremental")
+			for tt, d := range inc.PerSlotDelayMS {
+				if replay.PerSlotDelayMS[tt] != d {
+					t.Fatalf("slot %d: replay %x != %x — warm state is nondeterministic under chaos",
+						tt, replay.PerSlotDelayMS[tt], d)
+				}
+			}
+			if replay.WarmSolves != inc.WarmSolves || replay.SkippedSolves != inc.SkippedSolves ||
+				replay.FallbackSolves != inc.FallbackSolves {
+				t.Errorf("replay solve accounting diverged: warm %d/%d skip %d/%d fallback %d/%d",
+					replay.WarmSolves, inc.WarmSolves, replay.SkippedSolves, inc.SkippedSolves,
+					replay.FallbackSolves, inc.FallbackSolves)
+			}
+		})
+	}
+}
+
 // TestChaosBlackoutDegradesEveryPolicy pins the headline acceptance case: a
 // slot with every station down (capacity all zero) is served through the
 // degradation ladder — greedy shedding, a degraded-slot mark, no error —

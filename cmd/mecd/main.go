@@ -100,6 +100,7 @@ func run(args []string, out io.Writer) error {
 		batch       = fs.Int("batch", 16, "max decide/observe requests coalesced per shard tick")
 		queue       = fs.Int("queue", 256, "per-shard pending-request bound (overflow → 429)")
 		policies    = fs.String("policy", "OL_GD", "comma-separated policy names, assigned to cells round-robin")
+		incremental = fs.Bool("incremental", false, "warm-start slot solves from the previous slot (upgrades OL_GD cells to OL_GD/incremental)")
 		stations    = fs.Int("stations", 30, "stations per cell's GT-ITM network")
 		seed        = fs.Int64("seed", 1, "base seed; cell i uses seed+i")
 		hidden      = fs.Bool("hidden", false, "hide true demands from policies (bursty volumes must be predicted)")
@@ -125,6 +126,9 @@ func run(args []string, out io.Writer) error {
 	names := strings.Split(*policies, ",")
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
+		if *incremental && names[i] == "OL_GD" {
+			names[i] = "OL_GD/incremental"
+		}
 	}
 
 	cleanups := &cleanupStack{}

@@ -81,6 +81,10 @@ type spanRouteAnalysis struct {
 	Stages   []spanStageStats `json:"stages"`
 	// SolveByTier splits the solve stage by degradation-ladder tier.
 	SolveByTier []spanStageStats `json:"solve_by_tier,omitempty"`
+	// SolveByMode splits the solve stage by incremental mode (cold / warm /
+	// skip), showing how often warm starts and optimality-certificate skips
+	// actually fire end-to-end.
+	SolveByMode []spanStageStats `json:"solve_by_mode,omitempty"`
 	// Coverage is sum(stage totals)/e2e total: how much of the end-to-end
 	// latency the recorded stages attribute (the remainder is channel and
 	// scheduler overhead between stages).
@@ -94,6 +98,7 @@ type spanAccum struct {
 	e2e    []float64
 	stages map[string][]float64
 	tiers  map[string][]float64
+	modes  map[string][]float64
 }
 
 func analyseSpans(events []obs.Event) []spanRouteAnalysis {
@@ -112,7 +117,7 @@ func analyseSpans(events []obs.Event) []spanRouteAnalysis {
 		}
 		acc := byRoute[route]
 		if acc == nil {
-			acc = &spanAccum{stages: map[string][]float64{}, tiers: map[string][]float64{}}
+			acc = &spanAccum{stages: map[string][]float64{}, tiers: map[string][]float64{}, modes: map[string][]float64{}}
 			byRoute[route] = acc
 		}
 		if ev.Span == "req" { // root span: the end-to-end measurement
@@ -123,6 +128,11 @@ func analyseSpans(events []obs.Event) []spanRouteAnalysis {
 		if ev.Span == "solve" {
 			if tier, _ := ev.Fields["tier"].(string); tier != "" {
 				acc.tiers[tier] = append(acc.tiers[tier], dur)
+			}
+			// "observe" mode carries no information beyond the tier of the
+			// same name; only decide-path modes are worth a breakdown.
+			if mode, _ := ev.Fields["mode"].(string); mode != "" && mode != "observe" {
+				acc.modes[mode] = append(acc.modes[mode], dur)
 			}
 		}
 	}
@@ -167,6 +177,11 @@ func analyseSpans(events []obs.Event) []spanRouteAnalysis {
 		sort.Strings(tiers)
 		for _, t := range tiers {
 			a.SolveByTier = append(a.SolveByTier, stageStats(t, acc.tiers[t], e2eTotal))
+		}
+		for _, m := range []string{"cold", "warm", "skip"} {
+			if vals := acc.modes[m]; len(vals) > 0 {
+				a.SolveByMode = append(a.SolveByMode, stageStats(m, vals, e2eTotal))
+			}
 		}
 		if e2eTotal > 0 {
 			a.Coverage = attributed / e2eTotal
@@ -220,6 +235,18 @@ func renderSpans(out io.Writer, routes []spanRouteAnalysis) {
 				parts = append(parts, fmt.Sprintf("%s n=%d mean=%.4fms", t.Stage, t.Count, t.MeanMS))
 			}
 			fmt.Fprintf(out, "solve by tier: %s\n", strings.Join(parts, ", "))
+		}
+		if len(a.SolveByMode) > 0 {
+			var solves int
+			for _, m := range a.SolveByMode {
+				solves += m.Count
+			}
+			parts := make([]string, 0, len(a.SolveByMode))
+			for _, m := range a.SolveByMode {
+				parts = append(parts, fmt.Sprintf("%s n=%d (%.1f%%) mean=%.4fms",
+					m.Stage, m.Count, 100*float64(m.Count)/float64(solves), m.MeanMS))
+			}
+			fmt.Fprintf(out, "solve by mode: %s\n", strings.Join(parts, ", "))
 		}
 		fmt.Fprintf(out, "stages attribute %.1f%% of end-to-end latency (rest: inter-stage scheduling)\n\n",
 			100*a.Coverage)

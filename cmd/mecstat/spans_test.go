@@ -26,11 +26,12 @@ func writeSpanFixture(t *testing.T) string {
 		}
 		sb.WriteString(string(b) + "\n")
 	}
-	req := func(id, route string, e2e float64, stages map[string]float64, tier string) {
+	req := func(id, route string, e2e float64, stages map[string]float64, tier, mode string) {
 		for st, dur := range stages {
 			f := map[string]any{"stage": st, "dur_ms": dur, "route": route}
 			if st == "solve" {
 				f["tier"] = tier
+				f["mode"] = mode
 			}
 			emit(obs.Event{Name: "span", Trace: id, Span: st, Parent: "req", Fields: f})
 		}
@@ -38,13 +39,13 @@ func writeSpanFixture(t *testing.T) string {
 			Fields: map[string]any{"stage": "e2e", "dur_ms": e2e, "route": route}})
 	}
 	req("r1", "decide", 10, map[string]float64{
-		"queue_wait": 1, "batch_wait": 0.5, "solve": 7, "reply": 0.5, "encode": 0.5}, "simplex")
+		"queue_wait": 1, "batch_wait": 0.5, "solve": 7, "reply": 0.5, "encode": 0.5}, "simplex", "warm")
 	req("r2", "decide", 20, map[string]float64{
-		"queue_wait": 2, "batch_wait": 1, "solve": 15, "reply": 1, "encode": 0.6}, "simplex")
+		"queue_wait": 2, "batch_wait": 1, "solve": 15, "reply": 1, "encode": 0.6}, "simplex", "cold")
 	req("r3", "decide", 12, map[string]float64{
-		"queue_wait": 1, "batch_wait": 0.5, "solve": 9, "reply": 0.6, "encode": 0.4}, "greedy")
+		"queue_wait": 1, "batch_wait": 0.5, "solve": 9, "reply": 0.6, "encode": 0.4}, "greedy", "cold")
 	req("r4", "observe", 4, map[string]float64{
-		"queue_wait": 0.5, "batch_wait": 0.5, "solve": 2, "reply": 0.5}, "observe")
+		"queue_wait": 0.5, "batch_wait": 0.5, "solve": 2, "reply": 0.5}, "observe", "observe")
 	// Non-span noise the analyser must skip.
 	emit(obs.Event{Name: "tick", Slot: 3})
 
@@ -67,6 +68,7 @@ func TestSpansDecompositionTable(t *testing.T) {
 		"latency decomposition — route observe (1 requests)",
 		"queue_wait", "batch_wait", "solve", "reply", "encode", "e2e",
 		"solve by tier: greedy n=1 mean=9.0000ms, simplex n=2 mean=11.0000ms",
+		"solve by mode: cold n=2 (66.7%) mean=12.0000ms, warm n=1 (33.3%) mean=7.0000ms",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
@@ -124,9 +126,16 @@ func TestSpansJSON(t *testing.T) {
 	if len(dec.SolveByTier) != 2 || dec.SolveByTier[0].Stage != "greedy" || dec.SolveByTier[1].Stage != "simplex" {
 		t.Errorf("solve tiers = %+v, want greedy then simplex", dec.SolveByTier)
 	}
+	if len(dec.SolveByMode) != 2 || dec.SolveByMode[0].Stage != "cold" || dec.SolveByMode[0].Count != 2 ||
+		dec.SolveByMode[1].Stage != "warm" || dec.SolveByMode[1].Count != 1 {
+		t.Errorf("solve modes = %+v, want cold n=2 then warm n=1", dec.SolveByMode)
+	}
 	obsRoute := doc.Routes[1]
 	if obsRoute.Requests != 1 || len(obsRoute.SolveByTier) != 1 || obsRoute.SolveByTier[0].Stage != "observe" {
 		t.Errorf("observe route = %+v", obsRoute)
+	}
+	if len(obsRoute.SolveByMode) != 0 {
+		t.Errorf("observe route modes = %+v, want none", obsRoute.SolveByMode)
 	}
 }
 

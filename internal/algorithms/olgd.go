@@ -43,6 +43,13 @@ type OLGDConfig struct {
 	// determinism test: results are bit-identical either way, only the
 	// allocation profile differs.
 	FreshSolves bool
+	// Incremental opts the solver workspace into cross-slot incremental
+	// solving (caching.Workspace.EnableIncremental): unchanged slots are
+	// skipped, cost drift warm-starts from the previous basis or repairs the
+	// carried flow. Warm results agree with cold within solver tolerance, not
+	// bit-for-bit, so this is an explicit opt-in rather than the default.
+	// Incompatible with FreshSolves (there is no state to carry).
+	Incremental bool
 }
 
 // DefaultOLGDConfig uses the decaying epsilon_t = c/t schedule with c = 1/4.
@@ -110,8 +117,12 @@ func NewOLGD(cfg OLGDConfig) (*OLGD, error) {
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		name: name,
 	}
+	if cfg.Incremental && cfg.FreshSolves {
+		return nil, fmt.Errorf("algorithms: OLGD Incremental requires a persistent workspace (FreshSolves is set)")
+	}
 	if !cfg.FreshSolves {
 		o.ws = caching.NewWorkspace()
+		o.ws.EnableIncremental(cfg.Incremental)
 	}
 	return o, nil
 }

@@ -64,6 +64,16 @@ type DegradeReport struct {
 	// Solver is the backend that finally produced the slot's relaxation
 	// (empty for policies that never solve one).
 	Solver caching.SolverKind
+	// WarmSolve reports the slot's relaxation warm-started from the previous
+	// slot's optimisation state (incremental mode).
+	WarmSolve bool
+	// SkippedSolve reports the slot's relaxation was skipped outright —
+	// either bit-identical inputs or a reduced-cost certificate
+	// (incremental mode).
+	SkippedSolve bool
+	// ReroutedRequests counts requests the incremental flow repair evicted
+	// and re-routed instead of re-solving the whole slot.
+	ReroutedRequests int
 }
 
 // reportSolve folds a solve's ladder statistics into the slot's report.
@@ -76,6 +86,9 @@ func (v *SlotView) reportSolve(stats caching.SolveStats) {
 		v.Degrade.IterLimited = true
 	}
 	v.Degrade.Solver = stats.Solver
+	v.Degrade.WarmSolve = stats.WarmStarted
+	v.Degrade.SkippedSolve = stats.Skipped
+	v.Degrade.ReroutedRequests += stats.Rerouted
 }
 
 // reportShed folds shed-request counts into the slot's report.
@@ -185,6 +198,23 @@ func recordSolve(o *obs.Observer, policy string, stats caching.SolveStats) {
 	}
 	if stats.WarmStarted {
 		o.Inc("flow.warm_starts")
+		// Incremental-mode economics: basis reuse on the simplex, carried-flow
+		// repair on the flow backend.
+		switch stats.Solver {
+		case caching.SolverSimplex:
+			o.Inc("lp.warm_hits")
+		case caching.SolverFlow:
+			o.Inc("flow.repairs")
+		}
+	}
+	if stats.WarmFallback {
+		o.Inc("lp.warm_fallbacks")
+	}
+	if stats.Skipped {
+		o.IncL("solve.skips", obs.L("reason", stats.SkipReason)...)
+	}
+	if stats.Rerouted > 0 {
+		o.Add("flow.rerouted_requests", int64(stats.Rerouted))
 	}
 	if stats.Fallbacks > 0 {
 		o.Add("solve.fallbacks", int64(stats.Fallbacks))

@@ -167,9 +167,28 @@ type SolveStats struct {
 	// graph in place (same shape as the previous solve on this workspace)
 	// instead of rebuilding it.
 	WorkspaceReused bool
-	// WarmStarted reports whether carried node potentials replaced the
-	// Bellman-Ford initialisation (flow backend only; see flow.MinCostFlowWS).
+	// WarmStarted reports the solve reused optimisation state from the
+	// previous slot instead of starting from scratch: the previous optimal
+	// basis on the simplex backend, or the carried flow (re-routing only the
+	// changed demand delta) on the flow backend. Requires
+	// Workspace.EnableIncremental; warm results agree with cold solves within
+	// the solver tolerance, not bit-for-bit.
 	WarmStarted bool
+	// WarmFallback reports an incremental warm/repair attempt was abandoned
+	// (shape change, stale state, numerical trouble) and this result came
+	// from the cold rebuild that replaced it.
+	WarmFallback bool
+	// Skipped reports the solve was skipped outright and the previous slot's
+	// solution returned: either every input was bit-identical ("unchanged" —
+	// the result is exactly what a cold solve would produce) or a reduced-
+	// cost check certified the previous flow still optimal under the new
+	// costs ("certificate"). Requires Workspace.EnableIncremental.
+	Skipped bool
+	// SkipReason is "unchanged" or "certificate" when Skipped is set.
+	SkipReason string
+	// Rerouted counts the requests whose changed demand the flow repair path
+	// evicted and re-routed (WarmStarted, flow backend).
+	Rerouted int
 	// Fallbacks counts the degradation-ladder rungs that failed before this
 	// solve succeeded (0 = the primary backend solved it).
 	Fallbacks int
@@ -257,11 +276,150 @@ type Workspace struct {
 	xBack []float64
 	yRows [][]float64
 	yBack []float64
+
+	// Incremental-mode state (EnableIncremental): a snapshot of the inputs
+	// of the last successful solve. It gates the unchanged-slot skip, the
+	// flow-repair eviction set, and the certificate check.
+	incremental   bool
+	prevKind      SolverKind // backend of the last successful solve ("" = none)
+	prevObjective float64
+	prevL         int
+	prevN         int
+	prevK         int
+	prevCUnit     float64
+	prevBudget    int
+	prevServices  []int
+	prevVolumes   []float64
+	prevSupply    []float64 // volume*CUnit per request, the flow eviction key
+	prevDelays    []float64
+	prevCaps      []float64
+	prevInst      []float64 // flattened [i*K+k]
+	prevAccess    []float64 // flattened [l*N+i]; valid when prevAccessSet
+	prevAccessSet bool
 }
 
 // NewWorkspace returns an empty workspace; state builds up on first solve.
 func NewWorkspace() *Workspace {
 	return &Workspace{flowWS: flow.NewWorkspace(), lpWS: lp.NewWorkspace()}
+}
+
+// EnableIncremental opts this workspace into cross-slot incremental solving:
+// unchanged slots return the cached solution, cost/RHS drift re-solves from
+// the previous optimal basis (simplex) or repairs the carried flow by
+// re-routing only the changed demand (flow), and a reduced-cost certificate
+// skips quiet-slot flow solves outright. Every incremental path falls back to
+// a cold rebuild when its preconditions fail, so results are always valid;
+// warm results agree with cold solves within the solver tolerance rather than
+// bit-for-bit (the unchanged-slot skip alone is bit-identical). Off by
+// default, which keeps the *WS solvers bit-identical to their fresh-solve
+// counterparts.
+func (ws *Workspace) EnableIncremental(on bool) {
+	ws.incremental = on
+	ws.lpWS.EnableWarmStart(on)
+	if !on {
+		ws.prevKind = ""
+	}
+}
+
+// Incremental reports whether EnableIncremental is on.
+func (ws *Workspace) Incremental() bool { return ws.incremental }
+
+// noteSolved snapshots the solved problem's inputs for the next slot's
+// incremental checks.
+func (ws *Workspace) noteSolved(p *Problem, kind SolverKind, objective float64) {
+	if !ws.incremental {
+		return
+	}
+	L, N, K := len(p.Requests), p.NumStations, p.NumServices
+	ws.prevKind = kind
+	ws.prevObjective = objective
+	ws.prevL, ws.prevN, ws.prevK = L, N, K
+	ws.prevCUnit, ws.prevBudget = p.CUnit, p.SolveBudget
+	ws.prevServices = growIDs(ws.prevServices, L)
+	ws.prevVolumes = growVals(ws.prevVolumes, L)
+	ws.prevSupply = growVals(ws.prevSupply, L)
+	for l, r := range p.Requests {
+		ws.prevServices[l] = r.Service
+		ws.prevVolumes[l] = r.Volume
+		ws.prevSupply[l] = r.Volume * p.CUnit
+	}
+	ws.prevDelays = growVals(ws.prevDelays, N)
+	copy(ws.prevDelays, p.UnitDelayMS)
+	ws.prevCaps = growVals(ws.prevCaps, N)
+	copy(ws.prevCaps, p.CapacityMHz)
+	ws.prevInst = growVals(ws.prevInst, N*K)
+	for i := 0; i < N; i++ {
+		copy(ws.prevInst[i*K:(i+1)*K], p.InstDelayMS[i])
+	}
+	ws.prevAccessSet = p.AccessLatencyMS != nil
+	if ws.prevAccessSet {
+		ws.prevAccess = growVals(ws.prevAccess, L*N)
+		for l := 0; l < L; l++ {
+			copy(ws.prevAccess[l*N:(l+1)*N], p.AccessLatencyMS[l])
+		}
+	}
+}
+
+// unchangedSince reports whether every solve-relevant input of p is
+// bit-identical to the snapshot of the last successful solve. When true, the
+// cached solution IS the cold solution (the solvers are deterministic), so
+// returning it is exact.
+func (ws *Workspace) unchangedSince(p *Problem) bool {
+	L, N, K := len(p.Requests), p.NumStations, p.NumServices
+	if ws.prevL != L || ws.prevN != N || ws.prevK != K ||
+		ws.prevCUnit != p.CUnit || ws.prevBudget != p.SolveBudget {
+		return false
+	}
+	for l, r := range p.Requests {
+		if ws.prevServices[l] != r.Service || ws.prevVolumes[l] != r.Volume {
+			return false
+		}
+	}
+	for i := 0; i < N; i++ {
+		if ws.prevDelays[i] != p.UnitDelayMS[i] || ws.prevCaps[i] != p.CapacityMHz[i] {
+			return false
+		}
+	}
+	for i := 0; i < N; i++ {
+		row := p.InstDelayMS[i]
+		for k := 0; k < K; k++ {
+			if ws.prevInst[i*K+k] != row[k] {
+				return false
+			}
+		}
+	}
+	if ws.prevAccessSet != (p.AccessLatencyMS != nil) {
+		return false
+	}
+	if ws.prevAccessSet {
+		for l := 0; l < L; l++ {
+			row := p.AccessLatencyMS[l]
+			for i := 0; i < N; i++ {
+				if ws.prevAccess[l*N+i] != row[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// skippedResult assembles the Fractional for a skipped solve: the cached X/Y
+// matrices (untouched since the solve that produced them) plus fresh stats.
+func (ws *Workspace) skippedResult(kind SolverKind, reason string, vars, cons int) *Fractional {
+	return &Fractional{
+		X:         ws.xRows,
+		Y:         ws.yRows,
+		Objective: ws.prevObjective,
+		Stats: SolveStats{
+			Solver:          kind,
+			Variables:       vars,
+			Constraints:     cons,
+			WorkspaceReused: true,
+			Skipped:         true,
+			SkipReason:      reason,
+		},
+	}
 }
 
 // matrix returns a rows x cols matrix carved out of one zeroed backing slice,
@@ -331,6 +489,13 @@ func (p *Problem) SolveLPExactWS(ws *Workspace) (*Fractional, error) {
 		ws = NewWorkspace()
 	}
 	L, N, K := len(p.Requests), p.NumStations, p.NumServices
+	if ws.incremental && ws.prevKind == SolverSimplex && ws.unchangedSince(p) {
+		return ws.skippedResult(SolverSimplex, "unchanged",
+			ws.lpProb.NumVariables(), ws.lpProb.NumConstraints()), nil
+	}
+	// The cached solution is consumed by the solve below (the result matrices
+	// are rewritten), so the snapshot must not outlive a failed attempt.
+	ws.prevKind = ""
 	invR := 1.0 / float64(L)
 	// Variable layout: x_li at l*N+i, y_ki at L*N + k*N + i.
 	xIdx := func(l, i int) int { return l*N + i }
@@ -446,6 +611,8 @@ func (p *Problem) SolveLPExactWS(ws *Workspace) (*Fractional, error) {
 		Variables:        prob.NumVariables(),
 		Constraints:      prob.NumConstraints(),
 		WorkspaceReused:  reused,
+		WarmStarted:      sol.WarmStarted,
+		WarmFallback:     sol.WarmFallback,
 	}
 	for l := 0; l < L; l++ {
 		for i := 0; i < N; i++ {
@@ -457,6 +624,7 @@ func (p *Problem) SolveLPExactWS(ws *Workspace) (*Fractional, error) {
 			frac.Y[k][i] = sol.X[yIdx(k, i)]
 		}
 	}
+	ws.noteSolved(p, SolverSimplex, frac.Objective)
 	return frac, nil
 }
 
@@ -488,6 +656,18 @@ func (p *Problem) SolveLPFlowWS(ws *Workspace) (*Fractional, error) {
 	sink := 1 + L + N
 	reqNode := func(l int) int { return 1 + l }
 	bsNode := func(i int) int { return 1 + L + i }
+
+	warmFellBack := false
+	if ws.incremental && ws.prevKind == SolverFlow && ws.graph != nil &&
+		ws.graphL == L && ws.graphN == N {
+		if frac, ok := p.tryFlowRepair(ws); ok {
+			return frac, nil
+		}
+		// The repair attempt left the graph partially updated; the cold path
+		// below rewrites every edge (zeroing flows), restoring consistency.
+		warmFellBack = true
+	}
+	ws.prevKind = ""
 
 	reused := ws.graph != nil && ws.graphL == L && ws.graphN == N
 	g := ws.graph
@@ -570,12 +750,24 @@ func (p *Problem) SolveLPFlowWS(ws *Workspace) (*Fractional, error) {
 		Constraints:     L + N,
 		WorkspaceReused: reused,
 		WarmStarted:     flowRes.WarmStarted,
+		WarmFallback:    warmFellBack,
 	}
-	for l := 0; l < L; l++ {
+	p.extractFlow(ws, frac)
+	// Recompute the objective in LP terms (y = max x, not amortised).
+	frac.Objective = p.fracObjective(frac)
+	ws.noteSolved(p, SolverFlow, frac.Objective)
+	return frac, nil
+}
+
+// extractFlow lifts the graph's carried flow into X (fraction of request l at
+// station i) and Y (max over the service's X column) on a freshly zeroed frac.
+func (p *Problem) extractFlow(ws *Workspace, frac *Fractional) {
+	N := p.NumStations
+	for l := range p.Requests {
 		supply := p.Requests[l].Volume * p.CUnit
 		k := p.Requests[l].Service
 		for i := 0; i < N; i++ {
-			x := g.Flow(ws.asgIDs[l*N+i]) / supply
+			x := ws.graph.Flow(ws.asgIDs[l*N+i]) / supply
 			if x < 1e-12 {
 				continue
 			}
@@ -585,9 +777,199 @@ func (p *Problem) SolveLPFlowWS(ws *Workspace) (*Fractional, error) {
 			}
 		}
 	}
-	// Recompute the objective in LP terms (y = max x, not amortised).
+}
+
+// tryFlowRepair is the incremental flow path: skip the solve outright when the
+// slot is bit-identical to the previous one or a reduced-cost certificate
+// proves the carried flow still optimal, otherwise adjust only the demand
+// deltas — shrunken requests shed just their excess, grown requests keep their
+// carried routing — and resume the solver from the repaired flow
+// (flow.MinCostFlowResumeWS). Returns ok=false when the carried state cannot
+// be used — shape drift, a capacity now below its carried flow, repair budget
+// exhausted — and the caller falls back to the cold rebuild, which rewrites
+// every edge and so discards whatever this attempt touched.
+func (p *Problem) tryFlowRepair(ws *Workspace) (*Fractional, bool) {
+	L, N, K := len(p.Requests), p.NumStations, p.NumServices
+	if ws.unchangedSince(p) {
+		return ws.skippedResult(SolverFlow, "unchanged", L*N, L+N), true
+	}
+	if ws.prevL != L || ws.prevN != N || ws.prevCUnit != p.CUnit {
+		return nil, false
+	}
+	g := ws.graph
+	// The carried state is consumed from here on: any bail-out below leaves
+	// the graph partially updated, so the snapshot must not survive it.
+	ws.prevKind = ""
+	src, sink := 0, 1+L+N
+
+	rerouted := 0
+	costMoved := 0
+	totalSupply := 0.0
+	for l := 0; l < L; l++ {
+		supply := p.Requests[l].Volume * p.CUnit
+		totalSupply += supply
+		if supply != ws.prevSupply[l] {
+			rerouted++
+			k := p.Requests[l].Service
+			if f := g.Flow(ws.srcIDs[l]); f > supply {
+				// Demand shrank: shed only the excess, costliest stations
+				// first, so the bulk of the carried routing survives. A grown
+				// demand keeps its routing untouched — the resume augments
+				// just the missing delta.
+				excess := f - supply
+				for excess > 1e-12 {
+					best, bestCost := -1, math.Inf(-1)
+					for i := 0; i < N; i++ {
+						if g.Flow(ws.asgIDs[l*N+i]) <= 1e-12 {
+							continue
+						}
+						if c := p.AssignCost(l, i) + p.InstDelayMS[i][k]; c > bestCost {
+							best, bestCost = i, c
+						}
+					}
+					if best < 0 {
+						return nil, false
+					}
+					d := math.Min(excess, g.Flow(ws.asgIDs[l*N+best]))
+					if g.Drain(ws.asgIDs[l*N+best], d) != nil ||
+						g.Drain(ws.sinkIDs[best], d) != nil ||
+						g.Drain(ws.srcIDs[l], d) != nil {
+						return nil, false
+					}
+					excess -= d
+				}
+			}
+			if g.UpdateEdge(ws.srcIDs[l], supply, 0) != nil {
+				return nil, false
+			}
+		}
+		k := p.Requests[l].Service
+		for i := 0; i < N; i++ {
+			perUnit := (p.AssignCost(l, i) + p.InstDelayMS[i][k]) / supply
+			if perUnit != g.Cost(ws.asgIDs[l*N+i]) {
+				costMoved++
+			}
+			if g.UpdateEdge(ws.asgIDs[l*N+i], supply, perUnit) != nil {
+				return nil, false
+			}
+		}
+	}
+	for i := 0; i < N; i++ {
+		// A capacity now below its carried flow errors out → cold solve.
+		if g.UpdateEdge(ws.sinkIDs[i], p.CapacityMHz[i], 0) != nil {
+			return nil, false
+		}
+	}
+
+	if rerouted == 0 {
+		carried := 0.0
+		for l := 0; l < L; l++ {
+			carried += g.Flow(ws.srcIDs[l])
+		}
+		if math.Abs(carried-totalSupply) <= 1e-9*(1+totalSupply) &&
+			g.CertifyOptimal(ws.flowWS) {
+			// Cost-only drift and every residual reduced cost stayed
+			// non-negative: the carried flow is provably still optimal, so no
+			// solve runs at all. X/Y come out bit-identical to the cached
+			// solution; only the objective is repriced under the new costs.
+			frac := ws.result(L, N, K)
+			p.extractFlow(ws, frac)
+			frac.Objective = p.fracObjective(frac)
+			frac.Stats = SolveStats{
+				Solver:          SolverFlow,
+				Variables:       L * N,
+				Constraints:     L + N,
+				WorkspaceReused: true,
+				Skipped:         true,
+				SkipReason:      "certificate",
+			}
+			ws.noteSolved(p, SolverFlow, frac.Objective)
+			return frac, true
+		}
+	}
+
+	// Dense cost drift — bandit delay estimates shift every station a little
+	// every slot — would need roughly one negative-cycle cancellation per
+	// moved edge to repair the carried flow in place, which costs more than
+	// re-routing. Re-route from zero flow under the carried potentials
+	// instead: still a warm solve, with the duals doing the work rather than
+	// the carried primal.
+	if costMoved > L*N/8 {
+		return p.flowRestart(ws)
+	}
+
+	res, err := g.MinCostFlowResumeWS(src, sink, totalSupply, ws.flowWS)
+	if err != nil {
+		return nil, false
+	}
+	frac := ws.result(L, N, K)
+	p.extractFlow(ws, frac)
 	frac.Objective = p.fracObjective(frac)
-	return frac, nil
+	frac.Stats = SolveStats{
+		Solver:          SolverFlow,
+		Iterations:      res.Augmentations,
+		Variables:       L * N,
+		Constraints:     L + N,
+		WorkspaceReused: true,
+		WarmStarted:     true,
+		Rerouted:        rerouted,
+	}
+	ws.noteSolved(p, SolverFlow, frac.Objective)
+	return frac, true
+}
+
+// flowRestart is the dense-cost-drift branch of the incremental flow path:
+// zero the carried flow, rewrite every edge in place, and re-solve with the
+// carried potentials as the dual warm start (flow.MinCostFlowRestartWS, whose
+// sink-early-exit Dijkstras they accelerate). Returns ok=false when the
+// rewrite or solve fails; the graph is left with zeroed flows, which the cold
+// rebuild overwrites wholesale.
+func (p *Problem) flowRestart(ws *Workspace) (*Fractional, bool) {
+	L, N, K := len(p.Requests), p.NumStations, p.NumServices
+	ws.prevKind = ""
+	g := ws.graph
+	src, sink := 0, 1+L+N
+	// Zero first so shrunken supplies cannot trip UpdateEdge's flow-above-cap
+	// guard (MinCostFlowRestartWS re-zeroes harmlessly).
+	g.ZeroFlows()
+	totalSupply := 0.0
+	for l := 0; l < L; l++ {
+		supply := p.Requests[l].Volume * p.CUnit
+		totalSupply += supply
+		k := p.Requests[l].Service
+		if g.UpdateEdge(ws.srcIDs[l], supply, 0) != nil {
+			return nil, false
+		}
+		for i := 0; i < N; i++ {
+			perUnit := (p.AssignCost(l, i) + p.InstDelayMS[i][k]) / supply
+			if g.UpdateEdge(ws.asgIDs[l*N+i], supply, perUnit) != nil {
+				return nil, false
+			}
+		}
+	}
+	for i := 0; i < N; i++ {
+		if g.UpdateEdge(ws.sinkIDs[i], p.CapacityMHz[i], 0) != nil {
+			return nil, false
+		}
+	}
+	res, err := g.MinCostFlowRestartWS(src, sink, totalSupply, ws.flowWS)
+	if err != nil {
+		return nil, false
+	}
+	frac := ws.result(L, N, K)
+	p.extractFlow(ws, frac)
+	frac.Objective = p.fracObjective(frac)
+	frac.Stats = SolveStats{
+		Solver:          SolverFlow,
+		Iterations:      res.Augmentations,
+		Variables:       L * N,
+		Constraints:     L + N,
+		WorkspaceReused: true,
+		WarmStarted:     true,
+		Rerouted:        L,
+	}
+	ws.noteSolved(p, SolverFlow, frac.Objective)
+	return frac, true
 }
 
 // SolveLPLadder is SolveLPLadderWS with a throwaway workspace.
@@ -668,6 +1050,9 @@ func (p *Problem) solveGreedyWS(ws *Workspace) *Fractional {
 	if ws == nil {
 		ws = NewWorkspace()
 	}
+	// Greedy results are not LP optima, so they must never feed an
+	// incremental skip or repair on a later slot.
+	ws.prevKind = ""
 	L, N, K := len(p.Requests), p.NumStations, p.NumServices
 	frac := ws.result(L, N, K)
 
@@ -744,6 +1129,13 @@ func (p *Problem) shedTarget(l int, load []float64) int {
 func growIDs(buf []int, n int) []int {
 	if cap(buf) < n {
 		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growVals(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
 	}
 	return buf[:n]
 }

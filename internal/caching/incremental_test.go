@@ -1,0 +1,245 @@
+package caching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// copyFractional deep-copies a workspace-aliased solution so it survives the
+// next solve on the same workspace.
+func copyFractional(f *Fractional) *Fractional {
+	out := &Fractional{Objective: f.Objective, Stats: f.Stats}
+	out.X = make([][]float64, len(f.X))
+	for l := range f.X {
+		out.X[l] = append([]float64(nil), f.X[l]...)
+	}
+	out.Y = make([][]float64, len(f.Y))
+	for k := range f.Y {
+		out.Y[k] = append([]float64(nil), f.Y[k]...)
+	}
+	return out
+}
+
+// TestIncrementalUnchangedSkipBitIdentical feeds an incremental workspace the
+// same slot twice on both backends: the second solve must be skipped with
+// reason "unchanged" and return the cold solution bit for bit. This is the
+// strongest guarantee tier — skipping an unchanged slot is provably exact
+// because the solvers are deterministic.
+func TestIncrementalUnchangedSkipBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		L, N, K int
+	}{
+		{"exact", 6, 4, 3},
+		{"flow", 30, 8, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			p := randomProblem(rng, tc.L, tc.N, tc.K)
+			fresh, err := p.SolveLP()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws := NewWorkspace()
+			ws.EnableIncremental(true)
+			first, err := p.SolveLPWS(ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Enabling incremental must not perturb the cold solve itself.
+			compareFractional(t, "first-vs-fresh", first, fresh)
+			want := copyFractional(first)
+
+			second, err := p.SolveLPWS(ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !second.Stats.Skipped || second.Stats.SkipReason != "unchanged" {
+				t.Fatalf("unchanged slot not skipped: Skipped=%v reason=%q",
+					second.Stats.Skipped, second.Stats.SkipReason)
+			}
+			if second.Stats.WarmStarted || second.Stats.Iterations != 0 {
+				t.Fatalf("skip did solver work: warm=%v iterations=%d",
+					second.Stats.WarmStarted, second.Stats.Iterations)
+			}
+			compareFractional(t, "skip-vs-cold", second, want)
+		})
+	}
+}
+
+// TestIncrementalCertificateSkip drifts only the costs of stations the
+// optimal flow does not use: the carried potentials remain feasible, so the
+// reduced-cost certificate must skip the solve, and the repriced solution
+// must match a cold solve on the drifted instance.
+func TestIncrementalCertificateSkip(t *testing.T) {
+	L, N, K := 12, 4, 2
+	p := &Problem{
+		NumStations: N,
+		NumServices: K,
+		CUnit:       10,
+		CapacityMHz: []float64{2000, 100, 100, 100},
+		UnitDelayMS: []float64{1, 50, 50, 50},
+		InstDelayMS: make([][]float64, N),
+	}
+	for i := 0; i < N; i++ {
+		p.InstDelayMS[i] = make([]float64, K)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for l := 0; l < L; l++ {
+		p.Requests = append(p.Requests, RequestSpec{ID: l, Service: l % K, Volume: 1 + 3*rng.Float64()})
+	}
+
+	ws := NewWorkspace()
+	ws.EnableIncremental(true)
+	if _, err := p.SolveLPFlowWS(ws); err != nil {
+		t.Fatal(err)
+	}
+	// Station 0 is strictly dominant, so stations 1..3 carry no flow: their
+	// assignment edges appear only as forward residual edges, and raising a
+	// forward edge's cost can only grow its reduced cost. The carried
+	// potentials therefore remain feasible and certify the flow untouched.
+	for i := 1; i < N; i++ {
+		p.UnitDelayMS[i] += 0.5
+	}
+	got, err := p.SolveLPFlowWS(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Stats.Skipped || got.Stats.SkipReason != "certificate" {
+		t.Fatalf("cost-only drift off the optimal routing not certified: Skipped=%v reason=%q",
+			got.Stats.Skipped, got.Stats.SkipReason)
+	}
+	cold, err := p.SolveLPFlow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Objective-cold.Objective) > 1e-9*(1+math.Abs(cold.Objective)) {
+		t.Fatalf("certified objective %v, cold %v", got.Objective, cold.Objective)
+	}
+}
+
+// TestIncrementalRepairReroutesChangedDemand changes one request's volume
+// between slots: the flow repair must warm-start, report exactly one rerouted
+// request, and agree with a cold solve.
+func TestIncrementalRepairReroutesChangedDemand(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := randomProblem(rng, 12, 4, 2)
+	ws := NewWorkspace()
+	ws.EnableIncremental(true)
+	if _, err := p.SolveLPFlowWS(ws); err != nil {
+		t.Fatal(err)
+	}
+	p.Requests[3].Volume += 1
+	got, err := p.SolveLPFlowWS(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Stats.WarmStarted || got.Stats.Skipped {
+		t.Fatalf("volume change did not take the repair path: warm=%v skip=%v",
+			got.Stats.WarmStarted, got.Stats.Skipped)
+	}
+	if got.Stats.Rerouted != 1 {
+		t.Fatalf("Rerouted = %d, want 1", got.Stats.Rerouted)
+	}
+	cold, err := p.SolveLPFlow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Objective-cold.Objective) > 1e-6*(1+math.Abs(cold.Objective)) {
+		t.Fatalf("repaired objective %v, cold %v", got.Objective, cold.Objective)
+	}
+}
+
+// TestIncrementalChaosSequenceSurvivesFaults runs a fault-injection slot
+// sequence against one incremental workspace: drift, then an outage that
+// zeroes most capacity (forcing the ladder down to greedy and erroring the
+// repair machinery), then recovery. After the outage, warm state must not be
+// stale — the first recovered solve is cold and bit-identical to fresh, and
+// later drift slots warm-solve to the same answers a cold solve gives.
+func TestIncrementalChaosSequenceSurvivesFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := randomProblem(rng, 30, 8, 3)
+	savedCaps := append([]float64(nil), p.CapacityMHz...)
+
+	ws := NewWorkspace()
+	ws.EnableIncremental(true)
+	solve := func(step string) *Fractional {
+		f, err := p.SolveLPLadderWS(ws)
+		if err != nil {
+			t.Fatalf("%s: ladder: %v", step, err)
+		}
+		checkSolutionShape(t, p, f, step)
+		return f
+	}
+
+	solve("warmup")
+	for step := 0; step < 3; step++ {
+		driftDelays(rng, p)
+		f := solve("pre-fault drift")
+		if !f.Stats.WarmStarted && !f.Stats.Skipped {
+			t.Fatalf("pre-fault drift step %d ran cold: %+v", step, f.Stats)
+		}
+	}
+
+	// Outage: total capacity drops below demand. The repair attempt must bail
+	// (capacities shrink below carried flow), the flow rung must fail, and the
+	// greedy rung must still produce a shaped solution.
+	for i := range p.CapacityMHz {
+		p.CapacityMHz[i] = 0
+	}
+	p.CapacityMHz[0] = 10
+	faulted := solve("outage")
+	if faulted.Stats.Solver != SolverGreedy || faulted.Stats.Fallbacks == 0 {
+		t.Fatalf("outage slot solved by %s with %d fallbacks, want greedy fallback",
+			faulted.Stats.Solver, faulted.Stats.Fallbacks)
+	}
+
+	// Recovery: no warm state may survive the fault — the next solve is cold
+	// and must match a fresh solve bit for bit.
+	copy(p.CapacityMHz, savedCaps)
+	recovered := solve("recovery")
+	if recovered.Stats.WarmStarted || recovered.Stats.Skipped {
+		t.Fatalf("first post-outage solve reused state: %+v", recovered.Stats)
+	}
+	fresh, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareFractional(t, "recovery-vs-fresh", recovered, fresh)
+
+	// Post-recovery drift warm-solves again and still agrees with cold.
+	for step := 0; step < 3; step++ {
+		driftDelays(rng, p)
+		f := solve("post-fault drift")
+		cold, err := p.SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(f.Objective-cold.Objective) > 1e-6*(1+math.Abs(cold.Objective)) {
+			t.Fatalf("post-fault step %d: objective %v incremental vs %v cold (stats %+v)",
+				step, f.Objective, cold.Objective, f.Stats)
+		}
+		if step > 0 && !f.Stats.WarmStarted && !f.Stats.Skipped {
+			t.Fatalf("post-fault step %d still cold: %+v", step, f.Stats)
+		}
+	}
+}
+
+// TestIncrementalDisabledByDefault guards the opt-in: a plain workspace must
+// never skip or warm-start, keeping the documented bit-identity of the *WS
+// solvers with their fresh counterparts.
+func TestIncrementalDisabledByDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := randomProblem(rng, 6, 4, 2)
+	ws := NewWorkspace()
+	for slot := 0; slot < 3; slot++ {
+		got, err := p.SolveLPWS(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Stats.Skipped || got.Stats.WarmStarted || got.Stats.WarmFallback {
+			t.Fatalf("slot %d: incremental stats on a default workspace: %+v", slot, got.Stats)
+		}
+	}
+}

@@ -251,6 +251,104 @@ func TestPropertyLadderNeverFails(t *testing.T) {
 	}
 }
 
+// TestPropertyIncrementalDriftAgreesWithCold drives 200 random drift
+// sequences — per-station delay drift (the bandit estimates moving), volume
+// jitter on a subset of requests, quiet slots, and occasional shape changes
+// (service reassignments, requests appearing and disappearing) — through one
+// incremental workspace, checking every step against a cold solve: objectives
+// agree within solver tolerance and the ILP invariants hold. The sequences
+// must also actually exercise the machinery: both warm solves and skips have
+// to occur somewhere in the suite, or the generator has gone tame.
+func TestPropertyIncrementalDriftAgreesWithCold(t *testing.T) {
+	warm, skipped := 0, 0
+	for seed := int64(3000); seed < 3200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		N := 2 + rng.Intn(5)
+		L := 2 + rng.Intn(10)
+		if rng.Intn(3) == 0 {
+			// Flow-scale sequence: exercises the repair path, not the simplex
+			// warm start.
+			L, N = 25+rng.Intn(15), 9+rng.Intn(3)
+		}
+		K := 1 + rng.Intn(4)
+		p := randomProblem(rng, L, N, K)
+		vol0 := make([]float64, L)
+		for l := range vol0 {
+			vol0[l] = p.Requests[l].Volume
+		}
+		// Guarantee LP feasibility across the whole sequence: volumes never
+		// exceed 1.5x their base and appended requests stay below volume 1.
+		maxDemand := 6 * 1.5 * p.CUnit
+		for _, v := range vol0 {
+			maxDemand += 1.5 * v * p.CUnit
+		}
+		if s := sum(p.CapacityMHz); s < 1.3*maxDemand {
+			f := 1.3 * maxDemand / s
+			for i := range p.CapacityMHz {
+				p.CapacityMHz[i] *= f
+			}
+		}
+
+		ws := NewWorkspace()
+		ws.EnableIncremental(true)
+		for step := 0; step < 6; step++ {
+			if step > 0 && rng.Float64() > 0.15 { // ~15% of slots are quiet
+				for i := range p.UnitDelayMS {
+					p.UnitDelayMS[i] = math.Max(0.5, p.UnitDelayMS[i]*(0.9+0.2*rng.Float64()))
+				}
+				for l := range p.Requests {
+					if rng.Float64() < 0.3 {
+						jit := vol0[l] * (0.7 + 0.8*rng.Float64())
+						p.Requests[l].Volume = math.Min(1.5*vol0[l], math.Max(0.1, jit))
+					}
+				}
+				switch {
+				case rng.Float64() < 0.05:
+					p.Requests[rng.Intn(len(p.Requests))].Service = rng.Intn(K)
+				case rng.Float64() < 0.05 && len(p.Requests) > 2:
+					p.Requests = p.Requests[:len(p.Requests)-1]
+					vol0 = vol0[:len(vol0)-1]
+				case rng.Float64() < 0.05:
+					v := 0.2 + 0.8*rng.Float64()
+					p.Requests = append(p.Requests, RequestSpec{
+						ID: len(p.Requests), Service: rng.Intn(K), Volume: v, RegisteredBS: rng.Intn(N)})
+					vol0 = append(vol0, v)
+				}
+			}
+
+			inc, err := p.SolveLPWS(ws)
+			if err != nil {
+				t.Fatalf("seed %d step %d: incremental: %v", seed, step, err)
+			}
+			checkSolutionShape(t, p, inc, "incremental")
+			for i, u := range stationLoads(p, inc) {
+				if u > p.CapacityMHz[i]+1e-6*(1+p.CapacityMHz[i]) {
+					t.Fatalf("seed %d step %d: station %d carries %v of %v capacity",
+						seed, step, i, u, p.CapacityMHz[i])
+				}
+			}
+			cold, err := p.SolveLP()
+			if err != nil {
+				t.Fatalf("seed %d step %d: cold: %v", seed, step, err)
+			}
+			if math.Abs(inc.Objective-cold.Objective) > 1e-6*(1+math.Abs(cold.Objective)) {
+				t.Fatalf("seed %d step %d (%s, warm=%v skip=%q): objective %v incremental vs %v cold",
+					seed, step, inc.Stats.Solver, inc.Stats.WarmStarted, inc.Stats.SkipReason,
+					inc.Objective, cold.Objective)
+			}
+			if inc.Stats.WarmStarted {
+				warm++
+			}
+			if inc.Stats.Skipped {
+				skipped++
+			}
+		}
+	}
+	if warm == 0 || skipped == 0 {
+		t.Fatalf("200 drift sequences produced %d warm solves and %d skips; generator too tame", warm, skipped)
+	}
+}
+
 // TestPropertyWorkspaceReuseBitIdentical re-solves random feasible instances
 // on a shared workspace and requires bit-identical objectives and fractions
 // vs the fresh-allocation path — workspace reuse must change where buffers

@@ -1,0 +1,357 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// warmRandProblem builds a feasible, bounded random LP: all variables carry
+// upper bounds (so negative costs stay bounded) and all constraints are
+// LE/GE/EQ mixes with non-negative RHS.
+func warmRandProblem(rng *rand.Rand) *Problem {
+	p := NewProblem()
+	n := 3 + rng.Intn(6)
+	for j := 0; j < n; j++ {
+		p.AddBoundedVariable(rng.Float64()*10-5, 1+rng.Float64()*4, "")
+	}
+	m := 2 + rng.Intn(4)
+	for i := 0; i < m; i++ {
+		cols := make([]int, 0, n)
+		coefs := make([]float64, 0, n)
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.6 {
+				cols = append(cols, j)
+				coefs = append(coefs, rng.Float64()*3)
+			}
+		}
+		if len(cols) == 0 {
+			cols = append(cols, rng.Intn(n))
+			coefs = append(coefs, 1)
+		}
+		// LE with generous RHS keeps x=0 feasible; sprinkle GE rows with tiny
+		// RHS that the bounds can always satisfy.
+		sense := LE
+		rhs := 5 + rng.Float64()*10
+		if rng.Float64() < 0.3 {
+			sense = GE
+			rhs = rng.Float64() * 0.5
+		}
+		if err := p.AddConstraint(cols, coefs, sense, rhs); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+func solveFreshObjective(t *testing.T, p *Problem) float64 {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("cold reference solve: %v", err)
+	}
+	return sol.Objective
+}
+
+func TestWarmDriftAgreesWithCold(t *testing.T) {
+	warmHits := 0
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := warmRandProblem(rng)
+		ws := NewWorkspace()
+		ws.EnableWarmStart(true)
+		if _, err := p.SolveWS(ws); err != nil {
+			t.Fatalf("seed %d: initial solve: %v", seed, err)
+		}
+		for step := 0; step < 8; step++ {
+			// Drift costs always; drift RHS on some steps (exercising the
+			// dual repair); never touch the matrix.
+			for j := 0; j < p.NumVariables(); j++ {
+				if err := p.SetCost(j, rng.Float64()*10-5); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if step%2 == 1 {
+				for i := 0; i < p.NumConstraints(); i++ {
+					con := p.constraints[i]
+					rhs := con.RHS * (0.7 + 0.6*rng.Float64())
+					if err := p.SetConstraintRHS(i, rhs); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			sol, err := p.SolveWS(ws)
+			if err != nil {
+				t.Fatalf("seed %d step %d: warm solve: %v", seed, step, err)
+			}
+			if sol.WarmStarted {
+				warmHits++
+				if sol.Phase1Iterations != 0 {
+					t.Errorf("seed %d step %d: warm solve ran phase 1", seed, step)
+				}
+			}
+			want := solveFreshObjective(t, p)
+			if math.Abs(sol.Objective-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("seed %d step %d: warm objective %v, cold %v (warm=%v)",
+					seed, step, sol.Objective, want, sol.WarmStarted)
+			}
+		}
+	}
+	if warmHits == 0 {
+		t.Fatal("no solve warm-started across the whole suite")
+	}
+}
+
+func TestWarmRHSDriftRunsDualRepair(t *testing.T) {
+	// min -x1 - x2  s.t.  x1 + x2 <= 10, x1 <= 6, x2 <= 6. Optimum splits on
+	// the coupling row; shrinking its RHS makes the stored basis primal-
+	// infeasible, which only the dual-simplex path can repair in place.
+	p := NewProblem()
+	p.AddBoundedVariable(-1, 6, "x1")
+	p.AddBoundedVariable(-1, 6, "x2")
+	if err := p.AddConstraint([]int{0, 1}, []float64{1, 1}, LE, 10); err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	ws.EnableWarmStart(true)
+	sol, err := p.SolveWS(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-(-10)) > 1e-9 {
+		t.Fatalf("cold objective %v, want -10", sol.Objective)
+	}
+	if err := p.SetConstraintRHS(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	sol, err = p.SolveWS(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.WarmStarted {
+		t.Fatal("RHS-only change did not warm start")
+	}
+	if math.Abs(sol.Objective-(-7)) > 1e-6 {
+		t.Fatalf("warm objective %v, want -7", sol.Objective)
+	}
+}
+
+func TestWarmEqualityRowsAgree(t *testing.T) {
+	// EQ rows keep their identity column in an artificial; cost flips must
+	// still re-optimise warm and agree with cold.
+	p := NewProblem()
+	p.AddBoundedVariable(1, 1, "x1")
+	p.AddBoundedVariable(2, 1, "x2")
+	if err := p.AddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 1); err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	ws.EnableWarmStart(true)
+	if _, err := p.SolveWS(ws); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetCost(0, 5); err != nil { // now x2 is the cheap one
+		t.Fatal(err)
+	}
+	sol, err := p.SolveWS(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.WarmStarted {
+		t.Fatal("cost-only change did not warm start")
+	}
+	if math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("warm objective %v, want 2", sol.Objective)
+	}
+}
+
+func TestWarmFallsBackOnMatrixChange(t *testing.T) {
+	p := NewProblem()
+	p.AddBoundedVariable(-1, 5, "x1")
+	p.AddBoundedVariable(-2, 5, "x2")
+	if err := p.AddConstraint([]int{0, 1}, []float64{1, 1}, LE, 6); err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	ws.EnableWarmStart(true)
+	if _, err := p.SolveWS(ws); err != nil {
+		t.Fatal(err)
+	}
+	// Rewriting a coefficient changes the matrix: the warm basis no longer
+	// applies and eligibility must reject it without an attempt.
+	p.ConstraintCoefs(0)[1] = 2
+	sol, err := p.SolveWS(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.WarmStarted {
+		t.Fatal("matrix change must not warm start")
+	}
+	want := solveFreshObjective(t, p)
+	if math.Abs(sol.Objective-want) > 1e-9 {
+		t.Fatalf("cold-after-change objective %v, want %v", sol.Objective, want)
+	}
+	// The cold solve re-snapshots: an unchanged re-solve now warm starts.
+	if err := p.SetCost(0, -3); err != nil {
+		t.Fatal(err)
+	}
+	sol, err = p.SolveWS(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.WarmStarted {
+		t.Fatal("solve after cold re-snapshot did not warm start")
+	}
+}
+
+func TestWarmInfeasibleFallsBackCold(t *testing.T) {
+	p := NewProblem()
+	p.AddBoundedVariable(1, 1, "x1")
+	p.AddBoundedVariable(1, 1, "x2")
+	if err := p.AddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 1); err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	ws.EnableWarmStart(true)
+	if _, err := p.SolveWS(ws); err != nil {
+		t.Fatal(err)
+	}
+	// RHS beyond the variable bounds: infeasible. The warm path must not
+	// invent an answer; the cold fallback reports ErrInfeasible.
+	if err := p.SetConstraintRHS(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.SolveWS(ws)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if sol != nil && !sol.WarmFallback {
+		t.Error("infeasible solve after a warm basis should report WarmFallback")
+	}
+	if ws.WarmReady() {
+		t.Fatal("workspace kept a warm basis after an infeasible solve")
+	}
+	// Recovery: a feasible RHS solves cold and re-arms the warm state.
+	if err := p.SetConstraintRHS(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sol, err = p.SolveWS(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-1) > 1e-9 {
+		t.Fatalf("recovered objective %v, want 1", sol.Objective)
+	}
+	if !ws.WarmReady() {
+		t.Fatal("workspace did not re-arm after recovery")
+	}
+}
+
+func TestWarmIterBudgetResetsPerSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := warmRandProblem(rng)
+	// Establish how many pivots one warm re-solve needs, then grant a budget
+	// covering a single solve but far below the sum over many solves: every
+	// warm solve must stay within it independently.
+	ws := NewWorkspace()
+	ws.EnableWarmStart(true)
+	if _, err := p.SolveWS(ws); err != nil {
+		t.Fatal(err)
+	}
+	maxWarmIters := 0
+	for step := 0; step < 12; step++ {
+		for j := 0; j < p.NumVariables(); j++ {
+			if err := p.SetCost(j, rng.Float64()*10-5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sol, err := p.SolveWS(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Iterations > maxWarmIters {
+			maxWarmIters = sol.Iterations
+		}
+	}
+	budget := maxWarmIters + 5
+	if err := p.SetIterLimit(budget); err != nil {
+		t.Fatal(err)
+	}
+	rng = rand.New(rand.NewSource(7))
+	ws = NewWorkspace()
+	ws.EnableWarmStart(true)
+	if _, err := p.SolveWS(ws); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for step := 0; step < 12; step++ {
+		for j := 0; j < p.NumVariables(); j++ {
+			if err := p.SetCost(j, rng.Float64()*10-5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sol, err := p.SolveWS(ws)
+		if err != nil {
+			t.Fatalf("step %d: budget %d not honoured per solve: %v", step, budget, err)
+		}
+		total += sol.Iterations
+	}
+	if total <= budget {
+		t.Skipf("drift too cheap to prove accumulation (total %d <= budget %d)", total, budget)
+	}
+}
+
+func TestWarmExplicitIterLimitSurfacesOnWarmPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := warmRandProblem(rng)
+	ws := NewWorkspace()
+	ws.EnableWarmStart(true)
+	if _, err := p.SolveWS(ws); err != nil {
+		t.Fatal(err)
+	}
+	// A one-pivot budget cannot finish a re-solve after a cost flip that
+	// moves the optimum; the warm path must surface ErrIterLimit rather than
+	// silently burning a cold solve's budget too.
+	for j := 0; j < p.NumVariables(); j++ {
+		if err := p.SetCost(j, -10*(1+rng.Float64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.SetIterLimit(1); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.SolveWS(ws)
+	if !errors.Is(err, ErrIterLimit) {
+		t.Skipf("one pivot was enough (err=%v); instance too easy", err)
+	}
+	if sol == nil || sol.Status != StatusIterLimit {
+		t.Fatalf("sol = %+v, want StatusIterLimit", sol)
+	}
+	if !sol.WarmStarted {
+		t.Fatal("iteration-limit result not attributed to the warm path")
+	}
+	// The workspace must have dropped the (now mid-pivot) basis.
+	if ws.WarmReady() {
+		t.Fatal("workspace kept a half-pivoted tableau as warm state")
+	}
+	// Recovery with the default budget: the basis is gone, so this is a
+	// plain cold solve that re-arms the warm state.
+	if err := p.SetIterLimit(0); err != nil {
+		t.Fatal(err)
+	}
+	sol, err = p.SolveWS(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.WarmStarted {
+		t.Fatal("recovery solve warm-started from a dropped basis")
+	}
+	if !ws.WarmReady() {
+		t.Fatal("recovery solve did not re-arm the warm state")
+	}
+	want := solveFreshObjective(t, p)
+	if math.Abs(sol.Objective-want) > 1e-6*(1+math.Abs(want)) {
+		t.Fatalf("recovered objective %v, want %v", sol.Objective, want)
+	}
+}

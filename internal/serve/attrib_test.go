@@ -52,8 +52,8 @@ func TestLatencyAttributionHistograms(t *testing.T) {
 		`serve.queue_wait_ms{shard="s0"}`,
 		`serve.queue_wait_ms{shard="s1"}`,
 		`serve.batch_wait_ms`,
-		`serve.solve_ms{tier="simplex"}`,
-		`serve.solve_ms{tier="observe"}`,
+		`serve.solve_ms{mode="cold",tier="simplex"}`,
+		`serve.solve_ms{mode="observe",tier="observe"}`,
 		`serve.reply_ms`,
 	} {
 		h, ok := snap.Histograms[key]

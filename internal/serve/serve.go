@@ -73,10 +73,11 @@ type Config struct {
 	// (serve.requests{cell,route}, serve.batch_size, serve.queue_depth,
 	// serve.rejected) and, when enabled, the per-stage latency attribution:
 	// serve.e2e_ms{route}, serve.queue_wait_ms{shard}, serve.batch_wait_ms,
-	// serve.solve_ms{tier}, serve.reply_ms, serve.encode_ms. With a trace
-	// writer or live subscriber attached it also emits one request-scoped
-	// span tree per request (root "req" plus queue_wait / batch_wait / solve
-	// / reply / encode children). nil disables instrumentation.
+	// serve.solve_ms{tier,mode}, serve.reply_ms, serve.encode_ms. With a
+	// trace writer or live subscriber attached it also emits one
+	// request-scoped span tree per request (root "req" plus queue_wait /
+	// batch_wait / solve / reply / encode children). nil disables
+	// instrumentation.
 	Observer *obs.Observer
 	// SLO attaches a rolling-window SLO tracker fed by every request's
 	// end-to-end latency and outcome; /slo serves its report and /healthz
@@ -292,22 +293,33 @@ func (s *Server) executeTimed(sh *shard, t task, deq time.Time) taskResult {
 	queueWait := deq.Sub(t.enq)
 	batchWait := execStart.Sub(deq)
 	sh.noteWait(queueWait)
-	tier := "observe"
+	tier, mode := "observe", "observe"
 	if t.kind == taskDecide {
-		tier = "none"
-		if res.dec != nil && res.dec.Solver != "" {
-			tier = res.dec.Solver
+		tier, mode = "none", "cold"
+		if res.dec != nil {
+			if res.dec.Solver != "" {
+				tier = res.dec.Solver
+			}
+			// Incremental solve mode: a skipped solve (unchanged slot or
+			// reduced-cost certificate) beats a warm-started one, which beats
+			// the cold default.
+			switch {
+			case res.dec.SkippedSolve:
+				mode = "skip"
+			case res.dec.WarmSolve:
+				mode = "warm"
+			}
 		}
 	}
 	if s.obs.Enabled() {
 		s.obs.ObserveL("serve.queue_wait_ms", ms(queueWait), obs.L("shard", sh.label)...)
 		s.obs.Observe("serve.batch_wait_ms", ms(batchWait))
-		s.obs.ObserveL("serve.solve_ms", ms(solve), obs.L("tier", tier)...)
+		s.obs.ObserveL("serve.solve_ms", ms(solve), obs.L("tier", tier, "mode", mode)...)
 	}
 	if t.rc.trace != "" && s.obs.TraceEnabled() {
 		s.emitSpan(t.rc, "queue_wait", res.slot, ms(queueWait), obs.Fields{"shard": sh.id})
 		s.emitSpan(t.rc, "batch_wait", res.slot, ms(batchWait), nil)
-		s.emitSpan(t.rc, "solve", res.slot, ms(solve), obs.Fields{"tier": tier, "cell": t.cell.id})
+		s.emitSpan(t.rc, "solve", res.slot, ms(solve), obs.Fields{"tier": tier, "mode": mode, "cell": t.cell.id})
 	}
 	t.rc.execEnd = time.Now()
 	return res

@@ -123,6 +123,13 @@ type CellDecision struct {
 	// FallbackSolves and Shed count the slot's engaged degradation rungs.
 	FallbackSolves int `json:"fallback_solves,omitempty"`
 	Shed           int `json:"shed,omitempty"`
+	// WarmSolve / SkippedSolve report the slot's relaxation reused the
+	// previous slot's optimisation state or was skipped outright; Rerouted
+	// counts requests the flow repair re-routed. All zero unless the policy
+	// opted into incremental solving.
+	WarmSolve    bool `json:"warm_solve,omitempty"`
+	SkippedSolve bool `json:"skipped_solve,omitempty"`
+	Rerouted     int  `json:"rerouted,omitempty"`
 	// FaultsInjected counts fault events injected this slot.
 	FaultsInjected int `json:"faults_injected,omitempty"`
 	// PlayedDelays maps station ID → the realised unit delay of every
@@ -147,7 +154,11 @@ type CellStatus struct {
 	DegradedSlots  int     `json:"degraded_slots"`
 	OverloadSlots  int     `json:"overload_slots"`
 	FaultsInjected int     `json:"faults_injected"`
-	PendingObserve bool    `json:"pending_observe"`
+	// WarmSolves / SkippedSolves count slots served by incremental
+	// warm-started and skipped solves (zero unless the policy opted in).
+	WarmSolves     int  `json:"warm_solves,omitempty"`
+	SkippedSolves  int  `json:"skipped_solves,omitempty"`
+	PendingObserve bool `json:"pending_observe"`
 }
 
 // NewCell prepares a step-wise engine over this runner's environment. The
@@ -232,6 +243,8 @@ func (c *Cell) Status() CellStatus {
 		DegradedSlots:  c.res.DegradedSlots,
 		OverloadSlots:  c.res.OverloadSlots,
 		FaultsInjected: c.res.FaultsInjected,
+		WarmSolves:     c.res.WarmSolves,
+		SkippedSolves:  c.res.SkippedSolves,
 		PendingObserve: c.pending != nil,
 	}
 	if n := len(c.res.PerSlotDelayMS); n > 0 {
@@ -374,6 +387,13 @@ func (c *Cell) Decide(volumes []float64) (*CellDecision, error) {
 	}
 	res.FallbackSolves += deg.FallbackSolves
 	res.RepairViolations += deg.RepairViolations
+	if deg.WarmSolve {
+		res.WarmSolves++
+	}
+	if deg.SkippedSolve {
+		res.SkippedSolves++
+	}
+	res.ReroutedRequests += deg.ReroutedRequests
 	degraded := decideFailed || deg.FallbackSolves > 0 || deg.RepairViolations > 0
 	if degraded {
 		res.DegradedSlots++
@@ -521,6 +541,9 @@ func (c *Cell) Decide(volumes []float64) (*CellDecision, error) {
 		Solver:         string(deg.Solver),
 		FallbackSolves: deg.FallbackSolves,
 		Shed:           deg.RepairViolations,
+		WarmSolve:      deg.WarmSolve,
+		SkippedSolve:   deg.SkippedSolve,
+		Rerouted:       deg.ReroutedRequests,
 		FaultsInjected: faultCount(eff),
 		PlayedDelays:   make(map[int]float64, len(played)),
 		TrueVolumes:    append([]float64(nil), vols...),

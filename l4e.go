@@ -449,7 +449,7 @@ func PolicyNames() []string {
 	return []string{
 		"OL_GD", "Greedy_GD", "Pri_GD", "OL_Reg", "OL_GAN", "Oracle",
 		"OL_GD/UCB", "OL_GD/Thompson", "OL_GD/const-eps", "OL_GD/ls",
-		"OL_GD/fresh-solve",
+		"OL_GD/fresh-solve", "OL_GD/incremental",
 		"Greedy_GD/adaptive", "Pri_GD/adaptive",
 	}
 }
@@ -526,6 +526,17 @@ func (s *Scenario) NewPolicy(name string) (Policy, error) {
 		cfg.Priors = priors
 		cfg.Name = "OL_GD/fresh-solve"
 		cfg.FreshSolves = true
+		return algorithms.NewOLGD(cfg)
+	case "OL_GD/incremental":
+		// OL_GD with cross-slot incremental solves: unchanged slots are
+		// skipped, drift warm-starts from the previous basis or repairs the
+		// carried flow. Opt-in because warm results match cold within solver
+		// tolerance rather than bit-for-bit.
+		cfg := algorithms.DefaultOLGDConfig(n)
+		cfg.Seed = s.Seed
+		cfg.Priors = priors
+		cfg.Name = "OL_GD/incremental"
+		cfg.Incremental = true
 		return algorithms.NewOLGD(cfg)
 	case "Greedy_GD":
 		return algorithms.NewGreedyGD(historicalEstimates(s.Net), false)

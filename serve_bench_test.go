@@ -10,7 +10,7 @@ import (
 
 // newBenchCellPool provisions n daemon cells the way cmd/mecd does: one
 // small independent scenario per cell, seeded seed+i.
-func newBenchCellPool(b *testing.B, n int, seed int64) []*Cell {
+func newBenchCellPool(b *testing.B, n int, seed int64, policy string) []*Cell {
 	b.Helper()
 	cells := make([]*Cell, n)
 	for i := 0; i < n; i++ {
@@ -22,7 +22,7 @@ func newBenchCellPool(b *testing.B, n int, seed int64) []*Cell {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cells[i], err = scn.NewCell("OL_GD")
+		cells[i], err = scn.NewCell(policy)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -33,14 +33,29 @@ func newBenchCellPool(b *testing.B, n int, seed int64) []*Cell {
 // BenchmarkDecisionServer64Cells measures the mecd serving layer at the
 // acceptance scale: 64 concurrent cells closed-loop through the sharded
 // worker pool with batched solves, reporting sustained decisions/second.
-// Cells outlive their traces via the horizon wrap, so repeated bench
-// iterations keep advancing the same pool.
+// The cold sub-benchmark re-solves every slot from scratch (the pre-warm
+// serving path); incremental runs the same pool with warm-started solves
+// (mecd -incremental), so the ratio of their decisions/s is the serving-
+// layer payoff of carrying solver state across slots. Cells outlive their
+// traces via the horizon wrap, so repeated bench iterations keep advancing
+// the same pool.
 func BenchmarkDecisionServer64Cells(b *testing.B) {
+	for _, mode := range []struct{ name, policy string }{
+		{"cold", "OL_GD"},
+		{"incremental", "OL_GD/incremental"},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			benchDecisionServer64Cells(b, mode.policy)
+		})
+	}
+}
+
+func benchDecisionServer64Cells(b *testing.B, policy string) {
 	const (
 		nCells   = 64
 		slotsPer = 4
 	)
-	cells := newBenchCellPool(b, nCells, 1)
+	cells := newBenchCellPool(b, nCells, 1, policy)
 	srv, err := NewDecisionServer(DecisionServerConfig{BatchMax: 16}, cells)
 	if err != nil {
 		b.Fatal(err)

@@ -42,3 +42,39 @@ func TestWorkspaceSolvesAreBitIdentical(t *testing.T) {
 		t.Error("no lp.workspace_builds recorded")
 	}
 }
+
+// TestIncrementalRunIsDeterministic is the same guard for the warm-start
+// path: two runs of "OL_GD/incremental" on paired scenarios must be
+// bit-identical (carried bases and flow state are deterministic), the run
+// must actually warm-start, and the observer must surface the hits as
+// lp.warm_hits / flow.repairs counters.
+func TestIncrementalRunIsDeterministic(t *testing.T) {
+	o := NewObserver(ObserverOptions{})
+	run := func() *Result {
+		results, err := obsTestScenario(t, o).Compare("OL_GD/incremental")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results[0]
+	}
+	a, b := run(), run()
+	if len(a.PerSlotDelayMS) == 0 || len(a.PerSlotDelayMS) != len(b.PerSlotDelayMS) {
+		t.Fatalf("slot counts: %d vs %d", len(a.PerSlotDelayMS), len(b.PerSlotDelayMS))
+	}
+	for tt, d := range a.PerSlotDelayMS {
+		if b.PerSlotDelayMS[tt] != d {
+			t.Fatalf("slot %d: %x != %x", tt, d, b.PerSlotDelayMS[tt])
+		}
+	}
+	if a.WarmSolves == 0 {
+		t.Error("incremental policy never warm-started")
+	}
+	if a.WarmSolves != b.WarmSolves || a.SkippedSolves != b.SkippedSolves {
+		t.Errorf("solve accounting diverged: warm %d/%d skip %d/%d",
+			a.WarmSolves, b.WarmSolves, a.SkippedSolves, b.SkippedSolves)
+	}
+	snap := o.Snapshot()
+	if snap.Counters["lp.warm_hits"]+snap.Counters["flow.repairs"] == 0 {
+		t.Error("no lp.warm_hits or flow.repairs recorded — warm path invisible to the observer")
+	}
+}
