@@ -2,7 +2,7 @@
 
 GO ?= go
 # PR number stamped into the benchmark-trajectory file (BENCH_$(PR).json).
-PR ?= 7
+PR ?= 8
 
 .PHONY: all build test test-short vet race bench bench-json figures examples fuzz chaos mecstat-smoke clean
 
@@ -23,11 +23,12 @@ vet:
 # Race-detector pass over the concurrency-sensitive paths: the simulator
 # integration tests, the lock-free observability registry, the fault
 # injectors, the decision daemon (concurrent decide/observe hammering,
-# per-cell determinism, backpressure), the shared observer under parallel
-# experiment repeats, and the parallel chaos matrix.
+# per-cell determinism, backpressure, crash recovery), the durable-state
+# layer, the shared observer under parallel experiment repeats, and the
+# parallel chaos + kill-and-restore matrices.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/obs/ ./internal/faults/ ./internal/serve/ ./cmd/mecd/
-	$(GO) test -race -run 'Observer|Chaos' .
+	$(GO) test -race ./internal/sim/ ./internal/obs/ ./internal/faults/ ./internal/serve/ ./internal/persist/ ./cmd/mecd/
+	$(GO) test -race -run 'Observer|Chaos|Durable' .
 
 # Chaos suite: the injector unit tests, the degradation-ladder tests, the
 # sim-level fault integration tests, and the root chaos matrix.
@@ -36,12 +37,16 @@ chaos:
 	$(GO) test ./internal/sim/ -run 'Blackout|Bandit|ZeroRate|FaultSchedule|DemandSurge|Failure'
 	$(GO) test -race -run 'Chaos|SolveBudget' -v .
 
-# Fuzz the parsers that ingest external input: the trace-CSV reader and the
-# chaos-spec grammar (which must also round-trip through Schedule.Spec).
+# Fuzz the parsers that ingest external input: the trace-CSV reader, the
+# chaos-spec grammar (which must also round-trip through Schedule.Spec), and
+# the durable-state decoders (snapshot framing and WAL replay, which face
+# arbitrary torn/bit-flipped bytes after a crash).
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -fuzz=FuzzReadTraceCSV -fuzztime=$(FUZZTIME) ./internal/workload/
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/faults/
+	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=$(FUZZTIME) ./internal/persist/
+	$(GO) test -fuzz=FuzzReplayWAL -fuzztime=$(FUZZTIME) ./internal/persist/
 
 # Full benchmark suite: regenerates every paper figure plus the ablations.
 bench:
@@ -51,7 +56,8 @@ bench:
 # them as BENCH_$(PR).json via cmd/benchjson — the input cmd/benchdiff judges
 # performance PRs with. Benches are grouped by cost so every entry gets a
 # FIXED, meaningful iteration count instead of `-benchtime 1x` noise:
-# the cheap micro-benches (solver, LSTM, observer hooks) run long enough for
+# the cheap micro-benches (solver, LSTM, observer hooks, durable checkpoint
+# and crash recovery) run long enough for
 # stable ns/op and repeat -count 3 (benchjson merges the repeats,
 # iteration-weighted); the multi-second figure/ablation/daemon benches stay
 # at one iteration — their payload is the custom metrics (mean delays,
@@ -61,7 +67,7 @@ bench:
 # building carried bases/flows) instead of on its cold-start transient.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'ObserverNopHooks' -benchmem -benchtime 100000x -count 3 . && \
-	  $(GO) test -run '^$$' -bench 'SolveLP|LSTMStep|Incremental' -benchmem -benchtime 20x -count 3 . && \
+	  $(GO) test -run '^$$' -bench 'SolveLP|LSTMStep|Incremental|Checkpoint|Recovery' -benchmem -benchtime 20x -count 3 . && \
 	  $(GO) test -run '^$$' -bench 'DecisionServer64Cells' -benchmem -benchtime 15x . && \
 	  $(GO) test -run '^$$' -bench 'Fig|RegretBound|GammaSweep|ScheduleAblation|AdaptiveBaselines|OracleGap|WarmCacheAblation|FailureRobustness|ScheduledEvents|ObserverSimOverhead' -benchmem -benchtime 1x . ; } \
 		| $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json

@@ -34,6 +34,16 @@
 //	mecd -cells 16 -trace spans.jsonl -slo-latency-ms 5
 //	curl -s localhost:8370/slo
 //
+// Durable cell state: -state-dir checkpoints every cell (snapshot + WAL,
+// one subdirectory per cell) so a killed daemon restarts exactly where it
+// died — recovery replays the WAL tail on top of the newest valid snapshot
+// and the resumed run is bit-identical to one that never crashed. While
+// replay runs, /healthz reports 503 "recovering" and requests get 503 +
+// Retry-After. Inspect a state directory offline with `mecstat -state DIR`:
+//
+//	mecd -cells 16 -state-dir /var/lib/mecd & pid=$!
+//	kill -9 $pid && mecd -cells 16 -state-dir /var/lib/mecd  # resumes
+//
 // Self-driving throughput mode (no HTTP; each cell closed-loop for N slots):
 //
 //	mecd -cells 64 -drive 100
@@ -114,6 +124,8 @@ func run(args []string, out io.Writer) error {
 		sloTarget   = fs.Float64("slo-latency-target", 0.99, "fraction of requests that must meet the latency objective")
 		sloBudget   = fs.Float64("slo-error-budget", 0.001, "largest acceptable fraction of failed requests")
 		sloWindows  = fs.String("slo-windows", "1m,10m", "comma-separated burn-rate windows, shortest first")
+		stateDir    = fs.String("state-dir", "", "durable per-cell state root: snapshot + WAL per cell, crash recovery on startup")
+		ckptEvery   = fs.Int("checkpoint-interval", 64, "decides between snapshots (must match across restarts: checkpoints are warm-state barriers)")
 		drive       = fs.Int("drive", 0, "self-drive every cell closed-loop for N slots and exit (no HTTP)")
 	)
 	fs.SetOutput(out)
@@ -232,9 +244,27 @@ func run(args []string, out io.Writer) error {
 		BatchMax:   *batch,
 		Observer:   observer,
 		SLO:        slo,
+		StateDir:   *stateDir,
+		// A worker panic still crashes the daemon, but the cleanup stack
+		// runs first so buffered flight records and trace spans reach disk.
+		OnPanic:         cleanups.run,
+		CheckpointEvery: *ckptEvery,
 	}, pool)
 	if err != nil {
 		return err
+	}
+	if *stateDir != "" {
+		// Block until crash recovery replays the WAL tail; until then the
+		// cells aren't at their durable slots (HTTP mode would answer
+		// /healthz "recovering" and 503 requests, but for a CLI it is
+		// friendlier to come up ready).
+		<-srv.Recovered()
+		fmt.Fprintf(out, "mecd: durable state in %s (checkpoint every %d decides)\n", *stateDir, *ckptEvery)
+		for _, info := range srv.Cells() {
+			if info.Slot > 0 {
+				fmt.Fprintf(out, "mecd: cell %d recovered at slot %d\n", info.Cell, info.Slot)
+			}
+		}
 	}
 
 	if *drive > 0 {

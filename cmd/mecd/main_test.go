@@ -131,6 +131,41 @@ func TestDriveWithTraceAttribution(t *testing.T) {
 	}
 }
 
+// TestDriveModeStateResume drives a daemon with durable state, "kills" it
+// (the drive run exits without deleting anything), and verifies a second
+// daemon over the same directory resumes from the durable slot instead of
+// restarting at zero.
+func TestDriveModeStateResume(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{
+		"-cells", "2", "-stations", "12", "-state-dir", dir, "-checkpoint-interval", "3",
+	}
+	var out strings.Builder
+	if err := run(append(base, "-drive", "5"), &out); err != nil {
+		t.Fatalf("first run: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "recovered at slot") {
+		t.Fatalf("fresh state dir reported a recovery:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run(append(base, "-drive", "4"), &out); err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, out.String())
+	}
+	// Drive mode issues only Decides (each auto-observes the pending slot),
+	// so 5 decides leave the durable state at slot 4 + one pending observe.
+	for c := 0; c < 2; c++ {
+		want := "cell " + string(rune('0'+c)) + " recovered at slot 4"
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q:\n%s", want, out.String())
+		}
+	}
+	// 4 more decides on top of the recovered 5 → per-cell status shows slot 8.
+	if !strings.Contains(out.String(), "slots    8") {
+		t.Errorf("resumed cells did not continue from the durable slot:\n%s", out.String())
+	}
+}
+
 func TestSLOFlagValidation(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{

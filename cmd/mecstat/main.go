@@ -18,6 +18,13 @@
 //
 //	mecd -cells 64 -drive 50 -trace spans.jsonl
 //	mecstat -spans spans.jsonl
+//
+// -state inspects a durable state directory written by mecd -state-dir
+// without mutating it (safe against a live daemon): per cell, the snapshot
+// generations on disk, which one recovery would restore from, the covered
+// slot, the replayable WAL tail length, and the deterministic state digest:
+//
+//	mecstat -state /var/lib/mecd
 package main
 
 import (
@@ -46,25 +53,35 @@ const _maxTimelineRows = 40
 
 func run(out io.Writer, args []string) error {
 	var jsonOut, spans bool
+	var stateDir string
 	var paths []string
-	for _, a := range args {
-		switch a {
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; a {
 		case "-json", "--json":
 			jsonOut = true
 		case "-spans", "--spans":
 			spans = true
+		case "-state", "--state":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-state needs a directory argument")
+			}
+			stateDir = args[i]
 		case "-h", "-help", "--help":
-			fmt.Fprintln(out, "usage: mecstat [-json] [-spans] artifact.jsonl ... ('-' reads stdin)")
+			fmt.Fprintln(out, "usage: mecstat [-json] [-spans] [-state DIR] artifact.jsonl ... ('-' reads stdin)")
 			return nil
 		default:
 			if strings.HasPrefix(a, "-") && a != "-" {
-				return fmt.Errorf("unknown flag %q (usage: mecstat [-json] [-spans] artifact.jsonl ...)", a)
+				return fmt.Errorf("unknown flag %q (usage: mecstat [-json] [-spans] [-state DIR] artifact.jsonl ...)", a)
 			}
 			paths = append(paths, a)
 		}
 	}
+	if stateDir != "" {
+		return runState(out, stateDir, jsonOut)
+	}
 	if len(paths) == 0 {
-		return fmt.Errorf("no artifacts given (usage: mecstat [-json] [-spans] artifact.jsonl ..., '-' reads stdin)")
+		return fmt.Errorf("no artifacts given (usage: mecstat [-json] [-spans] [-state DIR] artifact.jsonl ..., '-' reads stdin)")
 	}
 	if spans {
 		return runSpans(out, paths, jsonOut)

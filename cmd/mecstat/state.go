@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/mecsim/l4e/internal/persist"
+	"github.com/mecsim/l4e/internal/sim"
+)
+
+// runState is mecstat's -state mode: a read-only inspection of a durable
+// state directory written by mecd -state-dir. The argument may be the mecd
+// root (one cell-<id> subdirectory per cell) or a single cell directory;
+// nothing is truncated, pruned, or counted, so it is safe to point at a
+// live daemon's directory.
+func runState(out io.Writer, dir string, jsonOut bool) error {
+	cells, err := findCellDirs(dir)
+	if err != nil {
+		return err
+	}
+	reports := make([]stateReport, 0, len(cells))
+	for _, cd := range cells {
+		rep, err := inspectCellDir(cd.path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cd.path, err)
+		}
+		rep.Cell = cd.id
+		reports = append(reports, rep)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Cells []stateReport `json:"cells"`
+		}{reports})
+	}
+	renderState(out, reports)
+	return nil
+}
+
+// cellDir is one cell's state directory: its numeric id (or -1 when the
+// argument was itself a cell directory) and path.
+type cellDir struct {
+	id   int
+	path string
+}
+
+// findCellDirs resolves the -state argument: a directory containing
+// cell-<id> subdirectories yields one entry per cell; a directory holding
+// snap-*/wal-* files directly is treated as a single anonymous cell.
+func findCellDirs(dir string) ([]cellDir, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var cells []cellDir
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		if s, ok := strings.CutPrefix(ent.Name(), "cell-"); ok {
+			if id, err := strconv.Atoi(s); err == nil {
+				cells = append(cells, cellDir{id: id, path: filepath.Join(dir, ent.Name())})
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return []cellDir{{id: -1, path: dir}}, nil
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].id < cells[j].id })
+	return cells, nil
+}
+
+// stateReport is one cell's durable-state digest — also the -json payload.
+type stateReport struct {
+	Cell    int    `json:"cell"` // -1 when -state pointed at a single cell directory
+	Dir     string `json:"dir"`
+	Version uint32 `json:"snapshot_version"`
+
+	// Snapshots on disk, oldest first; Valid is the CRC verdict.
+	Snapshots []snapRow `json:"snapshots,omitempty"`
+	// BaselineGen is the generation recovery would restore from (0 =
+	// genesis when Policy is empty).
+	BaselineGen uint64 `json:"baseline_gen"`
+	// WALRecords is the replayable op tail after the baseline snapshot.
+	WALRecords int `json:"wal_records"`
+	// DroppedTail reports a torn/corrupt WAL tail or a broken generation
+	// chain: recovery would drop records past the damage.
+	DroppedTail bool `json:"dropped_tail,omitempty"`
+
+	// Decoded baseline snapshot (absent at genesis).
+	Policy      string `json:"policy,omitempty"`
+	Slot        int    `json:"slot"`
+	Decides     int64  `json:"decides"`
+	Observes    int64  `json:"observes"`
+	Pending     bool   `json:"pending_observe,omitempty"`
+	StateDigest string `json:"state_digest,omitempty"`
+}
+
+type snapRow struct {
+	Gen   uint64 `json:"gen"`
+	Valid bool   `json:"valid"`
+	Size  int64  `json:"size"`
+}
+
+func inspectCellDir(dir string) (stateReport, error) {
+	rep := stateReport{Dir: dir, Version: persist.SnapshotVersion}
+	ins, err := persist.Inspect(dir)
+	if err != nil {
+		return rep, err
+	}
+	for _, s := range ins.Snapshots {
+		rep.Snapshots = append(rep.Snapshots, snapRow{Gen: s.Gen, Valid: s.Valid, Size: s.Size})
+	}
+	rep.BaselineGen = ins.BaselineGen
+	rep.WALRecords = ins.WALRecords
+	rep.DroppedTail = ins.DroppedTail
+	if ins.Baseline != nil {
+		info, err := sim.InspectState(ins.Baseline)
+		if err != nil {
+			return rep, fmt.Errorf("decoding snap-%d: %w", ins.BaselineGen, err)
+		}
+		rep.Policy = info.Policy
+		rep.Slot = info.Slot
+		rep.Decides = info.Decides
+		rep.Observes = info.Observes
+		rep.Pending = info.Pending
+		rep.StateDigest = fmt.Sprintf("%08x", info.Digest)
+	}
+	return rep, nil
+}
+
+func renderState(out io.Writer, reports []stateReport) {
+	fmt.Fprintf(out, "%-6s %-14s %4s %6s %8s %9s %4s %10s  %s\n",
+		"cell", "policy", "gen", "slot", "decides", "wal tail", "pend", "digest", "notes")
+	for _, r := range reports {
+		cell := "-"
+		if r.Cell >= 0 {
+			cell = strconv.Itoa(r.Cell)
+		}
+		policy, digest := r.Policy, r.StateDigest
+		if policy == "" {
+			policy, digest = "(genesis)", "-"
+		}
+		pend := "-"
+		if r.Pending {
+			pend = "yes"
+		}
+		var notes []string
+		if r.DroppedTail {
+			notes = append(notes, "TORN TAIL: records past the damage will be dropped")
+		}
+		for _, s := range r.Snapshots {
+			if !s.Valid {
+				notes = append(notes, fmt.Sprintf("snap-%d corrupt", s.Gen))
+			}
+		}
+		fmt.Fprintf(out, "%-6s %-14s %4d %6d %8d %9d %4s %10s  %s\n",
+			cell, policy, r.BaselineGen, r.Slot, r.Decides, r.WALRecords, pend, digest,
+			strings.Join(notes, "; "))
+	}
+	fmt.Fprintf(out, "(gen = snapshot generation recovery restores from; slot/decides as of that snapshot;\n wal tail = durable op records replayed on top; snapshot framing v%d)\n",
+		persist.SnapshotVersion)
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/mecsim/l4e/internal/bandit"
 	"github.com/mecsim/l4e/internal/caching"
 	"github.com/mecsim/l4e/internal/obs"
+	"github.com/mecsim/l4e/internal/persist"
 )
 
 // IndexKind selects the arm index used by IndexOLGD.
@@ -40,9 +41,12 @@ func (k IndexKind) String() string {
 // rounded deterministically. Exploration happens implicitly because
 // uncertain arms have optimistic indices.
 type IndexOLGD struct {
-	kind     IndexKind
-	arms     *bandit.Arms
+	kind IndexKind
+	arms *bandit.Arms
+	// rng draws from src, a counting source, making the Thompson-sampling
+	// cursor serializable (see SaveState/LoadState).
 	rng      *rand.Rand
+	src      *persist.CountingSource
 	n        int
 	observer *obs.Observer
 	ws       *caching.Workspace
@@ -59,10 +63,12 @@ func NewIndexOLGD(kind IndexKind, numStations int, optimisticPrior float64, seed
 	if numStations <= 0 {
 		return nil, fmt.Errorf("algorithms: IndexOLGD numStations = %d", numStations)
 	}
+	src := persist.NewCountingSource(seed)
 	return &IndexOLGD{
 		kind: kind,
 		arms: bandit.NewArms(numStations, optimisticPrior),
-		rng:  rand.New(rand.NewSource(seed)),
+		rng:  rand.New(src),
+		src:  src,
 		n:    numStations,
 		ws:   caching.NewWorkspace(),
 	}, nil

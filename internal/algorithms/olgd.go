@@ -7,6 +7,7 @@ import (
 	"github.com/mecsim/l4e/internal/bandit"
 	"github.com/mecsim/l4e/internal/caching"
 	"github.com/mecsim/l4e/internal/obs"
+	"github.com/mecsim/l4e/internal/persist"
 )
 
 // OLGDConfig parameterises Algorithm 1.
@@ -73,9 +74,12 @@ func DefaultOLGDConfig(numStations int) OLGDConfig {
 // OLGD is Algorithm 1 (OL_GD): online learning for the dynamic service
 // caching problem with given demands.
 type OLGD struct {
-	cfg      OLGDConfig
-	arms     *bandit.Arms
+	cfg  OLGDConfig
+	arms *bandit.Arms
+	// rng draws from src, a counting source, so the policy's RNG cursor is
+	// part of its serializable state (see SaveState/LoadState).
 	rng      *rand.Rand
+	src      *persist.CountingSource
 	name     string
 	observer *obs.Observer
 	// ws carries solver state (graph/tableau/scratch) across slots; nil when
@@ -111,10 +115,12 @@ func NewOLGD(cfg OLGDConfig) (*OLGD, error) {
 	if name == "" {
 		name = "OL_GD"
 	}
+	src := persist.NewCountingSource(cfg.Seed)
 	o := &OLGD{
 		cfg:  cfg,
 		arms: arms,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		rng:  rand.New(src),
+		src:  src,
 		name: name,
 	}
 	if cfg.Incremental && cfg.FreshSolves {

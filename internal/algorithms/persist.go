@@ -1,0 +1,324 @@
+package algorithms
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/mecsim/l4e/internal/gan"
+	"github.com/mecsim/l4e/internal/persist"
+)
+
+// PersistentPolicy is implemented by policies whose learning state can be
+// checkpointed. The contract mirrors the cell-level one: LoadState must be
+// called on a FRESHLY CONSTRUCTED policy built with the same configuration
+// (same scenario, seed, station count) that produced the snapshot — the
+// constructors re-derive all static state (priors, priorities, geometry),
+// and the snapshot carries only what mutates at runtime. Policies without
+// runtime state (Oracle, non-adaptive baselines would qualify too but keep
+// their estimator flag for sanity) simply don't implement the interface.
+type PersistentPolicy interface {
+	SaveState(e *persist.Encoder) error
+	LoadState(d *persist.Decoder) error
+}
+
+// WarmStateResetter is implemented by policies carrying cross-slot solver
+// warm state (incremental workspaces). Snapshots deliberately exclude
+// solver workspaces — a restored process rebuilds them cold — so taking a
+// checkpoint must also reset the LIVE policy's warm state at that slot:
+// both histories then run cold from the checkpoint and stay bit-identical.
+type WarmStateResetter interface {
+	ResetWarmState()
+}
+
+// freshSource guards the LoadState precondition: restoring into a policy
+// that has already drawn from its RNG cannot reproduce the stream.
+func freshSource(src *persist.CountingSource, who string) error {
+	if src.Draws() != 0 {
+		return fmt.Errorf("algorithms: %s LoadState needs a freshly constructed policy (rng already drawn %d times)", who, src.Draws())
+	}
+	return nil
+}
+
+// SaveState implements PersistentPolicy: arm statistics, the RNG cursor,
+// and the last epsilon-greedy branch (read back by the flight recorder).
+func (o *OLGD) SaveState(e *persist.Encoder) error {
+	o.arms.SaveState(e)
+	e.Uint64(o.src.Draws())
+	e.Float64(o.lastEps)
+	e.Bool(o.lastExplored)
+	return nil
+}
+
+// LoadState implements PersistentPolicy (fresh-policy precondition; the
+// RNG is fast-forwarded to the saved cursor).
+func (o *OLGD) LoadState(d *persist.Decoder) error {
+	if err := freshSource(o.src, o.name); err != nil {
+		return err
+	}
+	if err := o.arms.LoadState(d); err != nil {
+		return err
+	}
+	draws := d.Uint64()
+	o.lastEps = d.Float64()
+	o.lastExplored = d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	o.src.FastForward(draws)
+	return nil
+}
+
+// ResetWarmState implements WarmStateResetter (checkpoint barrier).
+func (o *OLGD) ResetWarmState() {
+	if o.ws != nil {
+		o.ws.ResetWarm()
+	}
+}
+
+// SaveState implements PersistentPolicy.
+func (x *IndexOLGD) SaveState(e *persist.Encoder) error {
+	x.arms.SaveState(e)
+	e.Uint64(x.src.Draws())
+	return nil
+}
+
+// LoadState implements PersistentPolicy.
+func (x *IndexOLGD) LoadState(d *persist.Decoder) error {
+	if err := freshSource(x.src, x.Name()); err != nil {
+		return err
+	}
+	if err := x.arms.LoadState(d); err != nil {
+		return err
+	}
+	draws := d.Uint64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	x.src.FastForward(draws)
+	return nil
+}
+
+// ResetWarmState implements WarmStateResetter (checkpoint barrier).
+func (x *IndexOLGD) ResetWarmState() { x.ws.ResetWarm() }
+
+// saveState serializes the estimator. A static estimator has no runtime
+// state; the adaptive flag is stored so a snapshot from the wrong variant
+// is rejected instead of misread.
+func (e *estimator) saveState(enc *persist.Encoder) {
+	enc.Bool(e.adaptive)
+	if e.adaptive {
+		e.arms.SaveState(enc)
+	}
+}
+
+func (e *estimator) loadState(d *persist.Decoder, who string) error {
+	adaptive := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if adaptive != e.adaptive {
+		return fmt.Errorf("algorithms: %s snapshot adaptive=%v, policy adaptive=%v", who, adaptive, e.adaptive)
+	}
+	if e.adaptive {
+		return e.arms.LoadState(d)
+	}
+	return nil
+}
+
+// SaveState implements PersistentPolicy.
+func (g *GreedyGD) SaveState(e *persist.Encoder) error {
+	g.saveState(e)
+	return nil
+}
+
+// LoadState implements PersistentPolicy.
+func (g *GreedyGD) LoadState(d *persist.Decoder) error { return g.loadState(d, g.Name()) }
+
+// SaveState implements PersistentPolicy.
+func (p *PriGD) SaveState(e *persist.Encoder) error {
+	p.saveState(e)
+	return nil
+}
+
+// LoadState implements PersistentPolicy.
+func (p *PriGD) LoadState(d *persist.Decoder) error { return p.loadState(d, p.Name()) }
+
+// SaveState implements PersistentPolicy: the inner OL_GD plus each ARMA
+// predictor's history.
+func (o *OLReg) SaveState(e *persist.Encoder) error {
+	if err := o.inner.SaveState(e); err != nil {
+		return err
+	}
+	e.Int(len(o.predictors))
+	for _, p := range o.predictors {
+		p.SaveState(e)
+	}
+	return nil
+}
+
+// LoadState implements PersistentPolicy.
+func (o *OLReg) LoadState(d *persist.Decoder) error {
+	if err := o.inner.LoadState(d); err != nil {
+		return err
+	}
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(o.predictors) {
+		return fmt.Errorf("algorithms: OLReg snapshot has %d predictors, policy has %d", n, len(o.predictors))
+	}
+	for _, p := range o.predictors {
+		if err := p.LoadState(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResetWarmState implements WarmStateResetter (forwarded to the inner OL_GD).
+func (o *OLReg) ResetWarmState() { o.inner.ResetWarmState() }
+
+// encodeMatrix writes a [][]float64 preserving nil-ness at both levels
+// (OLGAN's feature rows use nil to mean "no features that slot").
+func encodeMatrix(e *persist.Encoder, m [][]float64) {
+	e.Bool(m == nil)
+	if m == nil {
+		return
+	}
+	e.Int(len(m))
+	for _, row := range m {
+		e.Float64Slice(row)
+	}
+}
+
+func decodeMatrix(d *persist.Decoder) [][]float64 {
+	if d.Bool() {
+		return nil
+	}
+	// Each row costs at least 1 byte (its nil flag).
+	n := d.Int()
+	if n < 0 || n > d.Remaining() {
+		return nil
+	}
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = d.Float64Slice()
+	}
+	return m
+}
+
+// SaveState implements PersistentPolicy: the inner OL_GD, the warmup ARMA
+// predictors, the aligned volume/feature histories (nil rows preserved),
+// the pending feature rows, and — once trained — the GAN weights via the
+// gob model snapshot.
+func (o *OLGAN) SaveState(e *persist.Encoder) error {
+	if err := o.inner.SaveState(e); err != nil {
+		return err
+	}
+	e.Int(len(o.warm))
+	for _, p := range o.warm {
+		p.SaveState(e)
+	}
+	e.Int(len(o.histVol))
+	for _, row := range o.histVol {
+		e.Float64Slice(row)
+	}
+	e.Int(len(o.histFeat))
+	for _, rows := range o.histFeat {
+		encodeMatrix(e, rows)
+	}
+	encodeMatrix(e, o.pendingFeat)
+	e.Bool(o.trained)
+	if o.trained {
+		var buf bytes.Buffer
+		if err := o.model.Save(&buf); err != nil {
+			return err
+		}
+		e.Blob(buf.Bytes())
+	}
+	return nil
+}
+
+// LoadState implements PersistentPolicy. An untrained snapshot keeps the
+// freshly constructed model (identical by construction — gan.New is
+// deterministic in its config); a trained one replaces it with the saved
+// weights and re-attaches the observer.
+func (o *OLGAN) LoadState(d *persist.Decoder) error {
+	if err := o.inner.LoadState(d); err != nil {
+		return err
+	}
+	nw := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if nw != len(o.warm) {
+		return fmt.Errorf("algorithms: OLGAN snapshot has %d warm predictors, policy has %d", nw, len(o.warm))
+	}
+	for _, p := range o.warm {
+		if err := p.LoadState(d); err != nil {
+			return err
+		}
+	}
+	nv := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if nv != len(o.histVol) {
+		return fmt.Errorf("algorithms: OLGAN snapshot has %d volume histories, policy has %d", nv, len(o.histVol))
+	}
+	for i := range o.histVol {
+		o.histVol[i] = d.Float64Slice()
+	}
+	nf := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if nf != len(o.histFeat) {
+		return fmt.Errorf("algorithms: OLGAN snapshot has %d feature histories, policy has %d", nf, len(o.histFeat))
+	}
+	for i := range o.histFeat {
+		o.histFeat[i] = decodeMatrix(d)
+	}
+	pending := decodeMatrix(d)
+	trained := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if pending != nil && len(pending) != len(o.pendingFeat) {
+		return fmt.Errorf("algorithms: OLGAN snapshot has %d pending features, policy has %d", len(pending), len(o.pendingFeat))
+	}
+	if pending != nil {
+		o.pendingFeat = pending
+	}
+	o.trained = trained
+	if trained {
+		blob := d.Blob()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		model, err := gan.Load(bytes.NewReader(blob))
+		if err != nil {
+			return err
+		}
+		model.SetObserver(o.observer)
+		o.model = model
+	}
+	return nil
+}
+
+// ResetWarmState implements WarmStateResetter (forwarded to the inner OL_GD).
+func (o *OLGAN) ResetWarmState() { o.inner.ResetWarmState() }
+
+var (
+	_ PersistentPolicy = (*OLGD)(nil)
+	_ PersistentPolicy = (*IndexOLGD)(nil)
+	_ PersistentPolicy = (*GreedyGD)(nil)
+	_ PersistentPolicy = (*PriGD)(nil)
+	_ PersistentPolicy = (*OLReg)(nil)
+	_ PersistentPolicy = (*OLGAN)(nil)
+	_ WarmStateResetter = (*OLGD)(nil)
+	_ WarmStateResetter = (*IndexOLGD)(nil)
+	_ WarmStateResetter = (*OLReg)(nil)
+	_ WarmStateResetter = (*OLGAN)(nil)
+)

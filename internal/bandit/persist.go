@@ -1,0 +1,52 @@
+package bandit
+
+import (
+	"fmt"
+
+	"github.com/mecsim/l4e/internal/persist"
+)
+
+// SaveState serializes the per-arm statistics (counts, empirical means,
+// Welford M2 sums, prior). The encoding is deterministic and covers every
+// mutable field, so a restored Arms continues the exact learning
+// trajectory of the original.
+func (a *Arms) SaveState(e *persist.Encoder) {
+	e.IntSlice(a.count)
+	e.Float64Slice(a.mean)
+	e.Float64Slice(a.m2)
+	e.Float64(a.prior)
+}
+
+// LoadState restores statistics saved by SaveState into an Arms built for
+// the same station set; an arm-count mismatch (a snapshot from a
+// different scenario) is rejected.
+func (a *Arms) LoadState(d *persist.Decoder) error {
+	count := d.IntSlice()
+	mean := d.Float64Slice()
+	m2 := d.Float64Slice()
+	prior := d.Float64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(count) != len(a.count) || len(mean) != len(a.mean) || len(m2) != len(a.m2) {
+		return fmt.Errorf("bandit: snapshot has %d arms, scenario has %d", len(count), len(a.count))
+	}
+	copy(a.count, count)
+	copy(a.mean, mean)
+	copy(a.m2, m2)
+	a.prior = prior
+	return nil
+}
+
+// SaveState serializes the regret series.
+func (r *RegretTracker) SaveState(e *persist.Encoder) {
+	e.Float64Slice(r.perSlot)
+	e.Float64(r.cumulative)
+}
+
+// LoadState restores a regret series saved by SaveState.
+func (r *RegretTracker) LoadState(d *persist.Decoder) error {
+	r.perSlot = d.Float64Slice()
+	r.cumulative = d.Float64()
+	return d.Err()
+}

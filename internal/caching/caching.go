@@ -324,6 +324,18 @@ func (ws *Workspace) EnableIncremental(on bool) {
 // Incremental reports whether EnableIncremental is on.
 func (ws *Workspace) Incremental() bool { return ws.incremental }
 
+// ResetWarm drops all cross-slot incremental carryover — the cached
+// problem fingerprint/solution and the simplex basis — without changing
+// whether incremental mode is enabled: the next solve runs cold and warm
+// state re-accumulates from there. This is the checkpoint barrier of the
+// persistence layer: snapshots deliberately exclude solver workspaces, so
+// a restored process starts cold at the checkpoint slot; resetting the
+// live process at the same slot keeps the two solve histories identical.
+func (ws *Workspace) ResetWarm() {
+	ws.prevKind = ""
+	ws.lpWS.ResetWarmStart()
+}
+
 // noteSolved snapshots the solved problem's inputs for the next slot's
 // incremental checks.
 func (ws *Workspace) noteSolved(p *Problem, kind SolverKind, objective float64) {

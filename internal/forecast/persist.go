@@ -1,0 +1,28 @@
+package forecast
+
+import (
+	"fmt"
+
+	"github.com/mecsim/l4e/internal/persist"
+)
+
+// SaveState serializes the ARMA's only mutable field: the observation
+// history (most recent first, already capped at the model order). The
+// coefficients and prior come from the constructor and are not stored.
+func (a *ARMA) SaveState(e *persist.Encoder) {
+	e.Float64Slice(a.history)
+}
+
+// LoadState restores a history saved by SaveState into a predictor of the
+// same order.
+func (a *ARMA) LoadState(d *persist.Decoder) error {
+	h := d.Float64Slice()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(h) > len(a.coefs) {
+		return fmt.Errorf("forecast: snapshot history %d exceeds ARMA order %d", len(h), len(a.coefs))
+	}
+	a.history = h
+	return nil
+}

@@ -297,6 +297,14 @@ func (ws *Workspace) EnableWarmStart(on bool) {
 // WarmReady reports whether the workspace holds a reusable optimal basis.
 func (ws *Workspace) WarmReady() bool { return ws.warmValid }
 
+// ResetWarmStart invalidates the carried basis without changing whether
+// warm starts are enabled: the next solve runs cold and then resumes
+// accumulating warm state. The persistence layer calls this when a
+// checkpoint is taken — a restored process rebuilds its workspace cold, so
+// the live process must drop its basis at the same slot for the two warm
+// histories (and therefore the solves) to stay bit-identical.
+func (ws *Workspace) ResetWarmStart() { ws.warmValid = false }
+
 // snapshot records the problem structure (and current RHS) that produced the
 // tableau now held by the workspace, reusing buffers.
 func (ws *Workspace) snapshot(p *Problem) {

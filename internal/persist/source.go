@@ -1,0 +1,56 @@
+package persist
+
+import "math/rand"
+
+// CountingSource wraps math/rand's seeded source and counts how many
+// values have been drawn, making the RNG cursor serializable: a snapshot
+// stores (seed implicit in the owner, Draws()), and restore rebuilds a
+// fresh source and fast-forwards it. This is exact because every
+// rand.Rand derivation (Float64, Intn, ExpFloat64, rejection loops, ...)
+// bottoms out in Int63/Uint64 calls against the source, each of which
+// advances the underlying generator by exactly one step, and rand.Rand
+// buffers nothing (only Read does, which nothing in this repo uses).
+type CountingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+// NewCountingSource returns a counting wrapper around the standard
+// seeded source (math/rand's rngSource, which implements Source64).
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 draws one value, advancing the cursor by one.
+func (s *CountingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 draws one value, advancing the cursor by one.
+func (s *CountingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed reseeds the underlying source and resets the cursor.
+func (s *CountingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// Draws returns the number of values drawn since construction/seeding —
+// the serialized RNG cursor.
+func (s *CountingSource) Draws() uint64 { return s.draws }
+
+// FastForward advances the underlying generator by n steps without
+// handing the values to anyone, restoring a serialized cursor. For the
+// standard source both Int63 and Uint64 consume exactly one step, so
+// replaying the count alone reproduces the stream position regardless of
+// which mix of calls produced it.
+func (s *CountingSource) FastForward(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.draws += n
+}

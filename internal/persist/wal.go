@@ -1,0 +1,123 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// WAL file layout: a sequence of framed records, each
+//
+//	[payload length u32][crc32(payload) u32][payload]
+//
+// Records are appended with a single write followed by fsync, so a crash
+// leaves at most one torn record at the tail. Recovery reads the longest
+// valid prefix: the first record whose frame is truncated or whose CRC
+// fails ends the file — everything from that point is dropped and the
+// file truncated back to the valid prefix, never reinterpreted.
+const (
+	walFrameHeader = 4 + 4
+	// maxWALRecord caps a single record's payload (op records are tiny;
+	// a corrupt length field must not drive a huge allocation).
+	maxWALRecord = 1 << 26
+)
+
+// appendWALFrame frames one record onto buf.
+func appendWALFrame(buf []byte, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// parseWAL scans WAL file bytes and returns the decodable records (each a
+// copy), the byte length of the valid prefix, and whether a torn or
+// corrupt tail was dropped. It never fails: hostile bytes just yield a
+// shorter prefix.
+func parseWAL(data []byte) (records [][]byte, validLen int64, droppedTail bool) {
+	off := 0
+	for off < len(data) {
+		if len(data)-off < walFrameHeader {
+			return records, int64(off), true
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxWALRecord || int(n) > len(data)-off-walFrameHeader {
+			return records, int64(off), true
+		}
+		payload := data[off+walFrameHeader : off+walFrameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return records, int64(off), true
+		}
+		rec := make([]byte, n)
+		copy(rec, payload)
+		records = append(records, rec)
+		off += walFrameHeader + int(n)
+	}
+	return records, int64(off), false
+}
+
+// readWALFile loads one WAL file and scans its valid prefix. A missing
+// file reads as empty.
+func readWALFile(path string) (records [][]byte, validLen int64, droppedTail bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, err
+	}
+	records, validLen, droppedTail = parseWAL(data)
+	return records, validLen, droppedTail, nil
+}
+
+// wal is an open WAL file in append mode.
+type wal struct {
+	f       *os.File
+	scratch []byte
+}
+
+// openWAL opens (creating if needed) a WAL file for appending, first
+// truncating it to the given valid-prefix length so a torn tail found
+// during recovery is physically removed before new records follow it.
+func openWAL(path string, validLen int64) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening WAL: %w", err)
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: truncating WAL tail: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: seeking WAL end: %w", err)
+	}
+	return &wal{f: f}, nil
+}
+
+// append frames, writes, and fsyncs one record.
+func (w *wal) append(payload []byte) error {
+	w.scratch = appendWALFrame(w.scratch[:0], payload)
+	if _, err := w.f.Write(w.scratch); err != nil {
+		return fmt.Errorf("persist: appending WAL record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing WAL: %w", err)
+	}
+	return nil
+}
+
+// close syncs and closes the file.
+func (w *wal) close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	err1 := w.f.Sync()
+	err2 := w.f.Close()
+	w.f = nil
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

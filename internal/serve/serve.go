@@ -31,6 +31,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"github.com/mecsim/l4e/internal/obs"
+	"github.com/mecsim/l4e/internal/persist"
 	"github.com/mecsim/l4e/internal/sim"
 )
 
@@ -48,6 +50,11 @@ var ErrQueueFull = errors.New("serve: shard queue full")
 
 // ErrDraining is returned once Shutdown has begun.
 var ErrDraining = errors.New("serve: server draining")
+
+// ErrRecovering is returned while crash recovery is replaying durable state
+// into the cells; the HTTP layer maps it to 503 + Retry-After so clients
+// back off until /healthz flips from "recovering" to "ok".
+var ErrRecovering = errors.New("serve: recovering from durable state")
 
 // BatchSizeBuckets are the histogram bounds of serve.batch_size: batch sizes
 // are small integers bounded by Config.BatchMax.
@@ -84,6 +91,25 @@ type Config struct {
 	// becomes readiness-aware (ok/degraded/overloaded from burn rates and
 	// ladder-fallback share). nil disables SLO tracking.
 	SLO *obs.SLOTracker
+	// StateDir enables durable cell state: each cell keeps a versioned
+	// snapshot plus a write-ahead log of its Decide/Observe calls under
+	// StateDir/cell-<id>. On startup the server recovers every cell from
+	// its newest valid snapshot + WAL tail (in the background — requests
+	// arriving meanwhile get ErrRecovering) and resumes bit-identically to
+	// the process that died. Empty disables durability.
+	StateDir string
+	// CheckpointEvery is the snapshot cadence in decides per cell: after
+	// this many Decide calls the cell's full state is checkpointed and the
+	// WAL rotated. Checkpoints are also solver warm-state barriers, so the
+	// cadence is part of the deterministic history (a restored run must use
+	// the same value). Default 64 when StateDir is set.
+	CheckpointEvery int
+	// OnPanic runs before a shard-worker panic is re-raised — the hook for
+	// flushing buffered diagnostics (mecd points it at its cleanup stack so
+	// flight-recorder and trace output survive the crash). The panic still
+	// propagates and crashes the process; OnPanic only runs the cleanups
+	// first. nil skips the hook (the panic counter still fires).
+	OnPanic func()
 }
 
 func (c *Config) withDefaults() Config {
@@ -99,6 +125,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.RetryAfter <= 0 {
 		out.RetryAfter = time.Second
+	}
+	if out.StateDir != "" && out.CheckpointEvery <= 0 {
+		out.CheckpointEvery = 64
 	}
 	return out
 }
@@ -161,6 +190,16 @@ type managedCell struct {
 	cell     *sim.Cell
 	status   atomic.Pointer[sim.CellStatus]
 	rejected atomic.Int64
+	// mgr is the cell's durability manager (nil without StateDir). After
+	// recovery completes it is touched only by the owning shard worker, so
+	// WAL appends and checkpoints need no locks.
+	mgr *persist.Manager
+	// sinceCheckpoint counts Decide calls since the last checkpoint — the
+	// deterministic checkpoint cadence (owned by the shard worker).
+	sinceCheckpoint int
+	// recovery is the durable state read at startup, consumed once by the
+	// background recovery pass and then dropped.
+	recovery *persist.Recovery
 }
 
 type shard struct {
@@ -195,6 +234,15 @@ type Server struct {
 	// path stays exactly the pre-attribution hot path.
 	timed  bool
 	reqSeq atomic.Uint64
+	// recovering gates traffic while the startup recovery pass replays
+	// durable state into the cells: submit rejects with ErrRecovering and
+	// /healthz reports "recovering" until the pass completes. The replay
+	// goroutine has exclusive cell access exactly because no task can be
+	// enqueued while the flag is set.
+	recovering atomic.Bool
+	// recovered is closed when the recovery pass completes (tests and
+	// drivers can wait on it instead of polling /healthz).
+	recovered chan struct{}
 
 	mu       sync.RWMutex // guards draining vs enqueue
 	draining bool
@@ -215,13 +263,21 @@ func New(cfg Config, cells []*sim.Cell) (*Server, error) {
 	if cfg.Shards > len(cells) {
 		cfg.Shards = len(cells)
 	}
-	s := &Server{cfg: cfg, obs: cfg.Observer, slo: cfg.SLO, started: time.Now()}
+	s := &Server{cfg: cfg, obs: cfg.Observer, slo: cfg.SLO, started: time.Now(), recovered: make(chan struct{})}
 	s.timed = s.obs.Enabled() || s.slo != nil
 	for id, c := range cells {
 		if c == nil {
 			return nil, fmt.Errorf("serve: cell %d is nil", id)
 		}
 		mc := &managedCell{id: id, shard: id % cfg.Shards, cell: c}
+		if cfg.StateDir != "" {
+			mgr, rec, err := persist.Open(filepath.Join(cfg.StateDir, "cell-"+strconv.Itoa(id)), cfg.Observer)
+			if err != nil {
+				return nil, fmt.Errorf("serve: opening durable state of cell %d: %w", id, err)
+			}
+			mc.mgr = mgr
+			mc.recovery = rec
+		}
 		st := c.Status()
 		mc.status.Store(&st)
 		s.cells = append(s.cells, mc)
@@ -232,7 +288,83 @@ func New(cfg Config, cells []*sim.Cell) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker(sh)
 	}
+	if cfg.StateDir != "" {
+		// Replay in the background so the HTTP listener can come up and
+		// answer health probes immediately; traffic is gated on the flag.
+		s.recovering.Store(true)
+		go s.recoverAll()
+	} else {
+		close(s.recovered)
+	}
 	return s, nil
+}
+
+// Recovered returns a channel closed once the startup recovery pass has
+// finished (immediately when durability is disabled).
+func (s *Server) Recovered() <-chan struct{} { return s.recovered }
+
+// recoverAll restores every cell from its durable state: newest valid
+// snapshot as baseline, then the WAL tail replayed as the identical
+// Decide/Observe calls the dead process executed. While it runs, submit
+// rejects with ErrRecovering, so this goroutine owns the cells outright.
+func (s *Server) recoverAll() {
+	defer func() {
+		s.recovering.Store(false)
+		close(s.recovered)
+	}()
+	for _, mc := range s.cells {
+		rec := mc.recovery
+		mc.recovery = nil
+		if rec == nil {
+			continue
+		}
+		if err := s.recoverCell(mc, rec); err != nil {
+			// Semantic failure (snapshot from a different scenario, replay
+			// op rejected): bit-identical resume is already lost, so the
+			// one honest move left is re-syncing durable state to the
+			// fresh in-memory cell — checkpoint it and serve on.
+			s.obs.Inc("serve.recovery_failures")
+			if payload, cerr := mc.cell.Checkpoint(); cerr == nil {
+				if cerr := mc.mgr.Checkpoint(payload); cerr != nil {
+					s.obs.Inc("persist.io_errors")
+				}
+			}
+			mc.sinceCheckpoint = 0
+		}
+		s.snapshot(mc)
+	}
+}
+
+// recoverCell applies one cell's recovered baseline + WAL tail.
+func (s *Server) recoverCell(mc *managedCell, rec *persist.Recovery) error {
+	if rec.Baseline != nil {
+		if err := mc.cell.RestoreState(rec.Baseline); err != nil {
+			return err
+		}
+	}
+	decides := 0
+	barrier := 0
+	for i, op := range rec.Ops {
+		if barrier < len(rec.Barriers) && rec.Barriers[barrier] == i {
+			// The dead process checkpointed here (its snapshot was later
+			// rejected as corrupt): reproduce the warm-state barrier and
+			// the cadence reset it implied.
+			mc.cell.ResetPolicyWarmState()
+			decides = 0
+			barrier++
+		}
+		if err := mc.cell.ApplyOp(op); err != nil {
+			return fmt.Errorf("replaying WAL op %d: %w", i, err)
+		}
+		if sim.IsDecideOp(op) {
+			decides++
+		}
+	}
+	// Continue the deterministic checkpoint cadence where the dead process
+	// left off: the last barrier (or the baseline snapshot) was a cadence
+	// point, and every decide since counts toward the next one.
+	mc.sinceCheckpoint = decides
+	return nil
 }
 
 // NumCells reports the number of managed cells.
@@ -245,6 +377,19 @@ func (s *Server) NumShards() int { return len(s.shards) }
 // per tick into a single solve pass over the shard's cells.
 func (s *Server) worker(sh *shard) {
 	defer s.wg.Done()
+	// A panicking worker takes the whole process down (the panic is
+	// re-raised), but not before the buffered diagnostics are flushed:
+	// without this, mecd's flight-recorder and trace output of the slots
+	// leading UP to the crash — the ones worth reading — died with it.
+	defer func() {
+		if r := recover(); r != nil {
+			s.obs.Inc("serve.worker_panics")
+			if s.cfg.OnPanic != nil {
+				s.cfg.OnPanic()
+			}
+			panic(r)
+		}
+	}()
 	batch := make([]task, 0, s.cfg.BatchMax)
 	for tk := range sh.queue {
 		batch = append(batch[:0], tk)
@@ -394,23 +539,65 @@ func (s *Server) finish(rc *reqCtx, slot int, err error, degraded bool, encode t
 }
 
 // execute runs one task on its cell (serialized per shard by construction).
+// With durability on, every successful call is WAL-logged with its exact
+// inputs, and every CheckpointEvery-th Decide snapshots the cell and
+// rotates the log — all on the owning shard goroutine, so no locks.
 func (s *Server) execute(t task) taskResult {
 	switch t.kind {
 	case taskDecide:
+		// An auto-observe of a pending slot is part of Decide's semantics;
+		// replay reproduces it because ApplyOp calls the same Decide.
 		dec, err := t.cell.cell.Decide(t.vols)
 		s.snapshot(t.cell)
 		if err != nil {
 			return taskResult{err: err}
+		}
+		if t.cell.mgr != nil {
+			s.logOp(t.cell, sim.EncodeDecideOp(t.vols))
+			t.cell.sinceCheckpoint++
+			if t.cell.sinceCheckpoint >= s.cfg.CheckpointEvery {
+				s.checkpoint(t.cell)
+			}
 		}
 		return taskResult{dec: dec, slot: dec.Slot}
 	case taskObserve:
 		slot := t.cell.cell.Slot()
 		err := t.cell.cell.Observe(t.played, t.vols)
 		s.snapshot(t.cell)
+		if err == nil && t.cell.mgr != nil {
+			s.logOp(t.cell, sim.EncodeObserveOp(t.played, t.vols))
+		}
 		return taskResult{slot: slot, err: err}
 	default:
 		return taskResult{err: fmt.Errorf("serve: unknown task kind %d", t.kind)}
 	}
+}
+
+// logOp appends one executed op to the cell's WAL. An I/O failure cannot
+// un-execute the op; it is counted and the daemon serves on (a crash after
+// a lost append replays a shorter tail — detected state, not silent
+// corruption, since the WAL is a valid prefix either way).
+func (s *Server) logOp(mc *managedCell, rec []byte) {
+	if err := mc.mgr.Append(rec); err != nil {
+		s.obs.Inc("persist.io_errors")
+	}
+}
+
+// checkpoint snapshots the cell's full state and rotates its WAL. The
+// cell-side Checkpoint is also the solver warm-state barrier, making the
+// cadence part of the deterministic history — which is why it counts
+// decides, not wall time.
+func (s *Server) checkpoint(mc *managedCell) {
+	payload, err := mc.cell.Checkpoint()
+	if err != nil {
+		s.obs.Inc("persist.io_errors")
+		return
+	}
+	if err := mc.mgr.Checkpoint(payload); err != nil {
+		s.obs.Inc("persist.io_errors")
+		return
+	}
+	mc.sinceCheckpoint = 0
 }
 
 // snapshot refreshes the cell's lock-free status view.
@@ -422,6 +609,9 @@ func (s *Server) snapshot(mc *managedCell) {
 // submit enqueues a task on the cell's shard, never blocking: a full queue
 // returns ErrQueueFull, a draining server ErrDraining.
 func (s *Server) submit(t task) error {
+	if s.recovering.Load() {
+		return ErrRecovering
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.draining {
@@ -577,6 +767,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(sh.queue)
 	}
 	s.wg.Wait()
+	// Workers are gone; closing the WALs here cannot race an append. The
+	// close is a sync + close, so every logged op is durable before exit.
+	<-s.recovered
+	for _, mc := range s.cells {
+		if err := mc.mgr.Close(); err != nil && httpErr == nil {
+			httpErr = err
+		}
+	}
 	return httpErr
 }
 
@@ -701,6 +899,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RUnlock()
 	state, code := "ok", http.StatusOK
 	switch {
+	case s.recovering.Load():
+		state, code = "recovering", http.StatusServiceUnavailable
 	case draining:
 		state, code = "draining", http.StatusServiceUnavailable
 	case s.slo != nil:
@@ -782,6 +982,9 @@ func (s *Server) writeErr(w http.ResponseWriter, err error, cell int) {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs(shard)))
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrRecovering):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs(-1)))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, ErrDraining):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, sim.ErrNoPendingObserve):

@@ -12,6 +12,7 @@ import (
 	"github.com/mecsim/l4e/internal/caching"
 	"github.com/mecsim/l4e/internal/faults"
 	"github.com/mecsim/l4e/internal/obs"
+	"github.com/mecsim/l4e/internal/persist"
 )
 
 // ErrNoPendingObserve is returned by Cell.Observe when there is no decision
@@ -52,7 +53,10 @@ var ErrBadVolumes = errors.New("sim: bad demand vector")
 type Cell struct {
 	r      *Runner
 	policy algorithms.Policy
+	// rng draws from src, a counting source, so the environment RNG cursor
+	// is part of the cell's serializable state (see ExportState).
 	rng    *rand.Rand
+	src    *persist.CountingSource
 	oracle *algorithms.Oracle
 	res    *Result
 
@@ -170,10 +174,12 @@ func (r *Runner) NewCell(policy algorithms.Policy) (*Cell, error) {
 		return nil, fmt.Errorf("sim: nil policy")
 	}
 	T := r.slots()
+	src := persist.NewCountingSource(r.cfg.Seed)
 	c := &Cell{
 		r:      r,
 		policy: policy,
-		rng:    rand.New(rand.NewSource(r.cfg.Seed)),
+		rng:    rand.New(src),
+		src:    src,
 		res: &Result{
 			Policy:           policy.Name(),
 			PerSlotDelayMS:   make([]float64, 0, T),

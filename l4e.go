@@ -113,6 +113,10 @@ var (
 	ErrServerBusy = serve.ErrQueueFull
 	// ErrServerDraining reports a server mid-shutdown (HTTP 503).
 	ErrServerDraining = serve.ErrDraining
+	// ErrServerRecovering reports a server still replaying durable state
+	// after a restart (HTTP 503 + Retry-After). Retry shortly; /healthz
+	// flips from "recovering" to ok when replay completes.
+	ErrServerRecovering = serve.ErrRecovering
 	// ErrNoPendingObserve reports an Observe with no prior Decide (HTTP 409).
 	ErrNoPendingObserve = sim.ErrNoPendingObserve
 )
