@@ -4,7 +4,7 @@ GO ?= go
 # PR number stamped into the benchmark-trajectory file (BENCH_$(PR).json).
 PR ?= 8
 
-.PHONY: all build test test-short vet race bench bench-json figures examples fuzz chaos mecstat-smoke clean
+.PHONY: all build test test-short vet race bench bench-json bench-e2e figures examples fuzz chaos mecstat-smoke clean
 
 all: build vet test
 
@@ -27,7 +27,7 @@ vet:
 # layer, the shared observer under parallel experiment repeats, and the
 # parallel chaos + kill-and-restore matrices.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/obs/ ./internal/faults/ ./internal/serve/ ./internal/persist/ ./cmd/mecd/
+	$(GO) test -race ./internal/sim/ ./internal/obs/ ./internal/faults/ ./internal/serve/ ./internal/persist/ ./cmd/mecd/ ./cmd/mecload/
 	$(GO) test -race -run 'Observer|Chaos|Durable' .
 
 # Chaos suite: the injector unit tests, the degradation-ladder tests, the
@@ -71,6 +71,15 @@ bench-json:
 	  $(GO) test -run '^$$' -bench 'DecisionServer64Cells' -benchmem -benchtime 15x . && \
 	  $(GO) test -run '^$$' -bench 'Fig|RegretBound|GammaSweep|ScheduleAblation|AdaptiveBaselines|OracleGap|WarmCacheAblation|FailureRobustness|ScheduledEvents|ObserverSimOverhead' -benchmem -benchtime 1x . ; } \
 		| $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json
+
+# End-to-end serving benchmark: launch mecd, drive it with cmd/mecload's
+# open-loop generator (fixed rate + saturation search), and merge the
+# E2EOpenLoop/E2ESaturation entries (e2e_p50_ms, e2e_p99_ms,
+# decisions_per_s_saturated) into BENCH_$(PR).json — run after bench-json so
+# benchdiff tracks the serving path alongside the micro/figure benches.
+# Tune via env: RATE, DURATION, CELLS, SAT_START, SAT_P99_MS, CHAOS.
+bench-e2e:
+	PR=$(PR) scripts/bench_e2e.sh
 
 # End-to-end observability smoke: a 5-policy chaos comparison with regret
 # tracking and the flight recorder, analysed by mecstat (text + JSON).

@@ -102,8 +102,68 @@ BenchmarkY-8 50 500 ns/op
 		t.Errorf("X widgets/s = %v, want 25", got)
 	}
 	y := rep.Benchmarks[1]
-	if y.Name != "Y" || y.Samples != 0 || y.NsPerOp != 500 {
-		t.Errorf("Y = %+v, want untouched single run (Samples omitted)", y)
+	if y.Name != "Y" || y.Samples != 1 || y.NsPerOp != 500 {
+		t.Errorf("Y = %+v, want untouched single run with samples=1", y)
+	}
+}
+
+// TestSamplesCarriedUniformly pins the fix for the dropped-samples bug:
+// metric-bearing single-run benchmarks (the DecisionServer64Cells shape in
+// BENCH_8.json) must carry samples=1 just like -count>1 merges carry their
+// run count, so every entry answers "how many runs back this number".
+func TestSamplesCarriedUniformly(t *testing.T) {
+	input := `BenchmarkDecisionServer64Cells/cold-8 15 1000000 ns/op 979 decisions_per_s 64 cells
+BenchmarkSolveLPFlow/workspace-8 60 700 ns/op
+BenchmarkSolveLPFlow/workspace-8 60 710 ns/op
+BenchmarkSolveLPFlow/workspace-8 60 720 ns/op
+`
+	rep, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Samples < 1 {
+			t.Errorf("%s: samples = %d, want >= 1", b.Name, b.Samples)
+		}
+	}
+	if got := rep.Benchmarks[0].Samples; got != 1 {
+		t.Errorf("metric-bearing single run samples = %d, want 1", got)
+	}
+	if got := rep.Benchmarks[1].Samples; got != 3 {
+		t.Errorf("merged run samples = %d, want 3", got)
+	}
+}
+
+// TestMergeReports pins the -merge semantics: order-preserving replace of
+// re-measured names, append of new ones, header fields inherited when the
+// new run lacks them.
+func TestMergeReports(t *testing.T) {
+	old := &Report{
+		Goos: "linux", Goarch: "amd64", CPU: "Xeon", Pkg: "x",
+		Benchmarks: []Benchmark{
+			{Name: "SolveLPFlow/fresh", NsPerOp: 100, Samples: 3},
+			{Name: "E2EOpenLoop", NsPerOp: 999, Samples: 1},
+		},
+	}
+	fresh := &Report{Benchmarks: []Benchmark{
+		{Name: "E2EOpenLoop", NsPerOp: 500, Samples: 1},
+		{Name: "E2ESaturation", NsPerOp: 250, Samples: 1},
+	}}
+	got := mergeReports(old, fresh)
+	if len(got.Benchmarks) != 3 {
+		t.Fatalf("merged %d benchmarks, want 3", len(got.Benchmarks))
+	}
+	if got.Benchmarks[0].Name != "SolveLPFlow/fresh" || got.Benchmarks[0].NsPerOp != 100 {
+		t.Errorf("untouched entry = %+v", got.Benchmarks[0])
+	}
+	if got.Benchmarks[1].Name != "E2EOpenLoop" || got.Benchmarks[1].NsPerOp != 500 {
+		t.Errorf("re-measured entry not replaced in place: %+v", got.Benchmarks[1])
+	}
+	if got.Benchmarks[2].Name != "E2ESaturation" {
+		t.Errorf("new entry not appended: %+v", got.Benchmarks[2])
+	}
+	if got.Goos != "linux" || got.CPU != "Xeon" {
+		t.Errorf("header not inherited: %+v", got)
 	}
 }
 

@@ -51,7 +51,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -268,7 +267,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *drive > 0 {
-		if err := driveCells(out, srv, *cells, *drive); err != nil {
+		if err := driveCells(out, srv, *seed, *drive); err != nil {
 			return err
 		}
 		if slo != nil {
@@ -306,40 +305,17 @@ func run(args []string, out io.Writer) error {
 
 // driveCells closed-loops every cell for n slots through the shard pool —
 // the daemon's own load generator, used for throughput measurement and
-// smoke-testing without an HTTP client.
-func driveCells(out io.Writer, srv *l4e.DecisionServer, cells, n int) error {
-	start := time.Now()
-	var wg sync.WaitGroup
-	errc := make(chan error, cells)
-	for c := 0; c < cells; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			for t := 0; t < n; t++ {
-				for {
-					_, err := srv.Decide(c, nil)
-					if err == nil {
-						break
-					}
-					if errors.Is(err, l4e.ErrServerBusy) {
-						time.Sleep(time.Millisecond)
-						continue
-					}
-					errc <- fmt.Errorf("cell %d slot %d: %w", c, t, err)
-					return
-				}
-			}
-		}(c)
-	}
-	wg.Wait()
-	close(errc)
-	for err := range errc {
+// smoke-testing without an HTTP client. The loop itself lives in the serve
+// layer (DecisionServer.Drive): backpressure rejections are retried after a
+// jittered, Retry-After-grounded sleep and surface in the summary's retries
+// count instead of being hammered back immediately.
+func driveCells(out io.Writer, srv *l4e.DecisionServer, seed int64, n int) error {
+	sum, err := srv.Drive(l4e.DriveConfig{Slots: n, Seed: seed})
+	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
-	total := cells * n
-	fmt.Fprintf(out, "mecd: drove %d cells x %d slots = %d decisions in %.2fs (%.0f decisions/s)\n",
-		cells, n, total, elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	fmt.Fprintf(out, "mecd: drove %d cells x %d slots = %d decisions in %.2fs (%.0f decisions/s, %d retries)\n",
+		sum.Cells, sum.Slots, sum.Decisions, sum.Elapsed.Seconds(), sum.DecisionsPerS, sum.Retries)
 	for _, info := range srv.Cells() {
 		fmt.Fprintf(out, "  cell %3d shard %2d %-12s slots %4d avg %.2f ms degraded %d rejected %d\n",
 			info.Cell, info.Shard, info.Policy, info.Slot, info.AvgDelayMS, info.DegradedSlots, info.Rejected)

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubServer is a minimal mecd lookalike: /v1/decide and /v1/observe with a
+// configurable per-request handler, /v1/cells reporting n cells.
+func stubServer(t *testing.T, cells int, decide http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/decide", decide)
+	mux.HandleFunc("/v1/observe", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"observed":true}`)) //nolint:errcheck
+	})
+	mux.HandleFunc("/v1/cells", func(w http.ResponseWriter, r *http.Request) {
+		type c struct {
+			Cell int `json:"cell"`
+		}
+		list := make([]c, cells)
+		for i := range list {
+			list[i] = c{Cell: i}
+		}
+		json.NewEncoder(w).Encode(map[string]any{"cells": list}) //nolint:errcheck
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func okDecide(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte(`{"cell":0}`)) //nolint:errcheck
+}
+
+func TestOpenLoopBasics(t *testing.T) {
+	srv := stubServer(t, 4, okDecide)
+	rep, err := runLoad(context.Background(), loadConfig{
+		Target: srv.URL, Conns: 2, Rate: 400, Dist: "const",
+		Warmup: 50 * time.Millisecond, Duration: 300 * time.Millisecond,
+		Observe: true, LateMS: 1000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no completed requests against a healthy stub")
+	}
+	if rep.Sent != rep.Completed+rep.Rejected+rep.Errors {
+		t.Errorf("accounting: sent %d != completed %d + rejected %d + errors %d",
+			rep.Sent, rep.Completed, rep.Rejected, rep.Errors)
+	}
+	if rep.AchievedPerS <= 0 {
+		t.Errorf("achieved = %g, want > 0", rep.AchievedPerS)
+	}
+	d, ok := rep.Routes["decide"]
+	if !ok || d.Count != rep.Completed {
+		t.Errorf("decide route snapshot = %+v, want count %d", d, rep.Completed)
+	}
+	if _, ok := rep.Routes["observe"]; !ok {
+		t.Error("observe route missing with Observe: true")
+	}
+	if len(rep.Cells) == 0 || len(rep.Cells) > 4 {
+		t.Errorf("per-cell stats cover %d cells, want 1..4", len(rep.Cells))
+	}
+	if p99 := rep.P99MS(); p99 <= 0 || p99 > 1000 {
+		t.Errorf("p99 = %gms, want finite positive against a local stub", p99)
+	}
+}
+
+func TestPoissonScheduleCompletes(t *testing.T) {
+	srv := stubServer(t, 2, okDecide)
+	rep, err := runLoad(context.Background(), loadConfig{
+		Target: srv.URL, Conns: 2, Rate: 300, Dist: "poisson",
+		Duration: 300 * time.Millisecond, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~90 expected arrivals; allow wide slack for the draw.
+	if rep.Completed < 20 {
+		t.Errorf("poisson run completed %d, want >= 20", rep.Completed)
+	}
+}
+
+// TestCoordinatedOmissionRegression is the CO guard: a server that
+// serialises requests at ~30ms each under a 100/s offered schedule builds
+// an unbounded backlog, and because latency is measured against *intended*
+// send times the recorded p99 must reflect the queueing delay — not the
+// ~30ms a closed-loop (coordinated-omitting) client would report.
+func TestCoordinatedOmissionRegression(t *testing.T) {
+	var mu sync.Mutex
+	const service = 30 * time.Millisecond
+	srv := stubServer(t, 1, func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		time.Sleep(service)
+		mu.Unlock()
+		w.Write([]byte(`{"cell":0}`)) //nolint:errcheck
+	})
+	rep, err := runLoad(context.Background(), loadConfig{
+		Target: srv.URL, Conns: 1, Rate: 100, Dist: "const",
+		Duration: 500 * time.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed < 5 {
+		t.Fatalf("completed %d, want >= 5", rep.Completed)
+	}
+	p99 := rep.P99MS()
+	if p99 < 3*float64(service/time.Millisecond) {
+		t.Errorf("p99 = %.1fms: stalled-server lateness not visible (a CO-free recorder must see >> %v of queueing)",
+			p99, service)
+	}
+	// The wall-clock cutoff keeps the offered schedule honest: the backlog
+	// the generator never got to issue is reported, not dropped.
+	if rep.Unsent == 0 {
+		t.Error("unsent = 0, want > 0 when the server can't keep up with the schedule")
+	}
+}
+
+func TestRejectAccountingAndRetryAfter(t *testing.T) {
+	var n atomic.Int64
+	srv := stubServer(t, 1, func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 0 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"cell":0}`)) //nolint:errcheck
+	})
+	rep, err := runLoad(context.Background(), loadConfig{
+		Target: srv.URL, Conns: 1, Rate: 200, Dist: "const",
+		Duration: 300 * time.Millisecond, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected == 0 || rep.Completed == 0 {
+		t.Fatalf("rejected %d / completed %d, want both > 0", rep.Rejected, rep.Completed)
+	}
+	// Rejections must not leak into the latency distribution.
+	if got := rep.Routes["decide"].Count; got != rep.Completed {
+		t.Errorf("decide recorder holds %d samples, want completed count %d", got, rep.Completed)
+	}
+
+	// With -honor-retry-after, the 1s hint pauses the (single) connection
+	// past the short run end, so far fewer requests are issued and the
+	// skipped schedule shows up as unsent.
+	paused, err := runLoad(context.Background(), loadConfig{
+		Target: srv.URL, Conns: 1, Rate: 200, Dist: "const",
+		Duration: 300 * time.Millisecond, Seed: 5, HonorRetryAfter: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paused.Sent >= rep.Sent {
+		t.Errorf("honor-retry-after sent %d, want fewer than un-honoured %d", paused.Sent, rep.Sent)
+	}
+	if paused.Unsent == 0 {
+		t.Error("honor-retry-after: unsent = 0, want the paused schedule accounted")
+	}
+}
+
+func TestDiscoverCells(t *testing.T) {
+	srv := stubServer(t, 3, okDecide)
+	rep, err := runLoad(context.Background(), loadConfig{
+		Target: srv.URL, Conns: 8, Rate: 300, Dist: "const",
+		Duration: 150 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CellCount != 3 {
+		t.Errorf("discovered %d cells, want 3", rep.CellCount)
+	}
+	// Conns clamp to the cell count so the pending-slot protocol can't race.
+	if rep.Conns != 3 {
+		t.Errorf("conns = %d, want clamped to 3", rep.Conns)
+	}
+}
+
+func TestBenchLinesParse(t *testing.T) {
+	srv := stubServer(t, 2, okDecide)
+	rep, err := runLoad(context.Background(), loadConfig{
+		Target: srv.URL, Conns: 1, Rate: 200, Dist: "const",
+		Duration: 200 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rep.writeBench(&sb)
+	line := strings.TrimSpace(sb.String())
+	fields := strings.Fields(line)
+	if !strings.HasPrefix(fields[0], "Benchmark") {
+		t.Fatalf("bench line %q: no Benchmark prefix", line)
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		t.Fatalf("bench line %q: iterations field %q not an int", line, fields[1])
+	}
+	if len(fields)%2 != 0 {
+		t.Fatalf("bench line %q: odd value/unit pairing", line)
+	}
+	for i := 2; i < len(fields); i += 2 {
+		if _, err := strconv.ParseFloat(fields[i], 64); err != nil {
+			t.Errorf("bench line %q: value %q not a float", line, fields[i])
+		}
+	}
+	want := []string{"ns/op", "offered_per_s", "decisions_per_s", "e2e_p50_ms", "e2e_p99_ms", "reject_rate"}
+	for _, unit := range want {
+		if !strings.Contains(line, " "+unit) {
+			t.Errorf("bench line %q: missing %s", line, unit)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	bad := []loadConfig{
+		{Target: "", Conns: 1, Rate: 1, Dist: "const", Duration: time.Second},
+		{Target: "x", Conns: 0, Rate: 1, Dist: "const", Duration: time.Second},
+		{Target: "x", Conns: 1, Rate: 0, Dist: "const", Duration: time.Second},
+		{Target: "x", Conns: 1, Rate: 1, Dist: "uniform", Duration: time.Second},
+		{Target: "x", Conns: 1, Rate: 1, Dist: "const", Duration: 0},
+		{Target: "x", Conns: 1, Rate: 1, Dist: "const", Duration: time.Second, Warmup: -time.Second},
+	}
+	for i, cfg := range bad {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSigintStopsSchedule(t *testing.T) {
+	srv := stubServer(t, 1, okDecide)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *report, 1)
+	go func() {
+		rep, err := runLoad(ctx, loadConfig{
+			Target: srv.URL, Conns: 1, Rate: 100, Dist: "const",
+			Duration: 10 * time.Second, Seed: 1,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case rep := <-done:
+		if rep == nil {
+			t.Fatal("nil report after cancel")
+		}
+		if rep.Unsent == 0 {
+			t.Error("cancelled 10s schedule reports no unsent entries")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("runLoad did not stop after ctx cancel")
+	}
+}

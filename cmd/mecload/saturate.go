@@ -1,0 +1,203 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+)
+
+// satConfig parameterises the saturation search: step the offered rate up
+// geometrically until the server trips (SLO burn leaves "ok", or decide p99
+// exceeds the target), then bisect between the last good and first bad rate.
+type satConfig struct {
+	// StartRate is the first offered rate (requests/s).
+	StartRate float64
+	// Factor multiplies the rate between ramp steps (> 1).
+	Factor float64
+	// StepDuration is each step's measured phase; a quarter of it is warmup.
+	StepDuration time.Duration
+	// P99TargetMS fails a step when the decide p99 exceeds it.
+	P99TargetMS float64
+	// MaxSteps bounds the ramp (safety against a server that never trips).
+	MaxSteps int
+	// Refine is the number of bisection passes after the ramp brackets the
+	// knee.
+	Refine int
+}
+
+func (c *satConfig) validate() error {
+	if c.StartRate <= 0 {
+		return fmt.Errorf("mecload: -sat-start %g, want > 0", c.StartRate)
+	}
+	if c.Factor <= 1 {
+		return fmt.Errorf("mecload: -sat-factor %g, want > 1", c.Factor)
+	}
+	if c.StepDuration <= 0 {
+		return fmt.Errorf("mecload: -sat-step %v, want > 0", c.StepDuration)
+	}
+	if c.P99TargetMS <= 0 {
+		return fmt.Errorf("mecload: -sat-p99-ms %g, want > 0", c.P99TargetMS)
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 12
+	}
+	if c.Refine < 0 {
+		c.Refine = 0
+	}
+	return nil
+}
+
+// satStep is one probed rate and its verdict.
+type satStep struct {
+	OfferedPerS  float64 `json:"offered_per_s"`
+	AchievedPerS float64 `json:"achieved_per_s"`
+	P99MS        float64 `json:"p99_ms"`
+	SLOState     string  `json:"slo_state,omitempty"`
+	Pass         bool    `json:"pass"`
+	Reason       string  `json:"reason,omitempty"`
+}
+
+// satResult is the search outcome. MaxSustainedPerS is the achieved
+// throughput at the highest passing offered rate (0 when even the first
+// step fails).
+type satResult struct {
+	MaxSustainedPerS float64   `json:"max_sustained_per_s"`
+	MaxOfferedPerS   float64   `json:"max_offered_per_s"`
+	P99AtMaxMS       float64   `json:"p99_at_max_ms"`
+	Steps            []satStep `json:"steps"`
+}
+
+// sloState polls GET /slo and returns the tracker state ("" when the server
+// has no tracker or the poll fails — the p99 criterion still applies).
+func sloState(ctx context.Context, client *http.Client, target string) string {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/slo", nil)
+	if err != nil {
+		return ""
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ""
+	}
+	var body struct {
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return ""
+	}
+	return body.State
+}
+
+// probe runs one step at the given rate and judges it.
+func probe(ctx context.Context, base loadConfig, sc satConfig, rate float64) (satStep, *report, error) {
+	cfg := base
+	cfg.Rate = rate
+	cfg.Warmup = sc.StepDuration / 4
+	cfg.Duration = sc.StepDuration
+	rep, err := runLoad(ctx, cfg)
+	if err != nil {
+		return satStep{}, nil, err
+	}
+	step := satStep{
+		OfferedPerS:  rate,
+		AchievedPerS: rep.AchievedPerS,
+		P99MS:        rep.P99MS(),
+		SLOState:     sloState(ctx, newClient(1), base.Target),
+		Pass:         true,
+	}
+	switch {
+	case rep.Completed == 0:
+		step.Pass, step.Reason = false, "no completed requests"
+	case step.SLOState != "" && step.SLOState != "ok":
+		step.Pass, step.Reason = false, "slo burn tripped: "+step.SLOState
+	case !math.IsNaN(step.P99MS) && step.P99MS > sc.P99TargetMS:
+		step.Pass, step.Reason = false, fmt.Sprintf("p99 %.3fms > target %gms", step.P99MS, sc.P99TargetMS)
+	}
+	return step, rep, nil
+}
+
+// runSaturation performs the ramp-then-bisect search. Progress goes to w.
+func runSaturation(ctx context.Context, base loadConfig, sc satConfig, w io.Writer) (*satResult, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	res := &satResult{}
+	note := func(s satStep) {
+		verdict := "pass"
+		if !s.Pass {
+			verdict = "FAIL (" + s.Reason + ")"
+		}
+		fmt.Fprintf(w, "mecload: saturate @ %.1f/s: achieved %.1f/s p99 %.3fms — %s\n",
+			s.OfferedPerS, s.AchievedPerS, s.P99MS, verdict)
+	}
+
+	// Ramp until a step fails or the budget runs out.
+	var lastGood, firstBad float64
+	rate := sc.StartRate
+	for i := 0; i < sc.MaxSteps; i++ {
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		step, _, err := probe(ctx, base, sc, rate)
+		if err != nil {
+			return nil, err
+		}
+		res.Steps = append(res.Steps, step)
+		note(step)
+		if !step.Pass {
+			firstBad = rate
+			break
+		}
+		lastGood = rate
+		res.MaxSustainedPerS = step.AchievedPerS
+		res.MaxOfferedPerS = rate
+		res.P99AtMaxMS = step.P99MS
+		rate *= sc.Factor
+	}
+	if lastGood == 0 || firstBad == 0 {
+		return res, nil // first step failed, or server never tripped
+	}
+
+	// Bisect the bracket [lastGood, firstBad].
+	lo, hi := lastGood, firstBad
+	for i := 0; i < sc.Refine; i++ {
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		mid := (lo + hi) / 2
+		step, _, err := probe(ctx, base, sc, mid)
+		if err != nil {
+			return nil, err
+		}
+		res.Steps = append(res.Steps, step)
+		note(step)
+		if step.Pass {
+			lo = mid
+			res.MaxSustainedPerS = step.AchievedPerS
+			res.MaxOfferedPerS = mid
+			res.P99AtMaxMS = step.P99MS
+		} else {
+			hi = mid
+		}
+	}
+	return res, nil
+}
+
+// writeBench emits the search result as a benchmark line for the BENCH
+// trajectory (decisions_per_s_saturated is gated by benchdiff's
+// higher-is-better rule).
+func (r *satResult) writeBench(w io.Writer) {
+	nsOp := 0.0
+	if r.MaxSustainedPerS > 0 {
+		nsOp = 1e9 / r.MaxSustainedPerS
+	}
+	fmt.Fprintf(w, "BenchmarkE2ESaturation 1 %.0f ns/op %.1f decisions_per_s_saturated %.3f sat_p99_ms\n",
+		nsOp, r.MaxSustainedPerS, r.P99AtMaxMS)
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSaturationFindsKnee ramps against a stub with ~5ms serialised service
+// (capacity ~200/s): the 40/s step must pass, the 320/s step must trip the
+// p99 target as the backlog builds, and the reported max sustainable rate
+// must sit at the passing step.
+func TestSaturationFindsKnee(t *testing.T) {
+	var mu sync.Mutex
+	srv := stubServer(t, 1, func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		time.Sleep(5 * time.Millisecond)
+		mu.Unlock()
+		w.Write([]byte(`{"cell":0}`)) //nolint:errcheck
+	})
+	base := loadConfig{Target: srv.URL, Conns: 1, Dist: "const", Seed: 1}
+	res, err := runSaturation(context.Background(), base, satConfig{
+		StartRate:    40,
+		Factor:       8,
+		StepDuration: 400 * time.Millisecond,
+		// Generous bar: 40/s against 5ms serial service sits near 5-10ms
+		// even on a noisy CI box, while 320/s builds a backlog measured in
+		// hundreds of ms against the intended-time schedule.
+		P99TargetMS: 100,
+		MaxSteps:    4,
+		Refine:      0,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) < 2 {
+		t.Fatalf("ran %d steps, want >= 2", len(res.Steps))
+	}
+	if !res.Steps[0].Pass {
+		t.Errorf("step @40/s failed: %+v", res.Steps[0])
+	}
+	last := res.Steps[len(res.Steps)-1]
+	if last.Pass {
+		t.Errorf("final step @%.0f/s passed; the ramp never tripped", last.OfferedPerS)
+	}
+	if res.MaxOfferedPerS != 40 {
+		t.Errorf("max offered = %g, want 40 (the only passing step)", res.MaxOfferedPerS)
+	}
+	if res.MaxSustainedPerS <= 0 {
+		t.Errorf("max sustained = %g, want > 0", res.MaxSustainedPerS)
+	}
+}
+
+func TestSaturationFirstStepFails(t *testing.T) {
+	var mu sync.Mutex
+	srv := stubServer(t, 1, func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		time.Sleep(20 * time.Millisecond)
+		mu.Unlock()
+		w.Write([]byte(`{"cell":0}`)) //nolint:errcheck
+	})
+	base := loadConfig{Target: srv.URL, Conns: 1, Dist: "const", Seed: 1}
+	res, err := runSaturation(context.Background(), base, satConfig{
+		StartRate:    500,
+		Factor:       2,
+		StepDuration: 300 * time.Millisecond,
+		P99TargetMS:  10,
+		MaxSteps:     3,
+		Refine:       2,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 1 {
+		t.Fatalf("ran %d steps, want 1 (first fails, no bracket to bisect)", len(res.Steps))
+	}
+	if res.MaxSustainedPerS != 0 {
+		t.Errorf("max sustained = %g, want 0 when even the first step fails", res.MaxSustainedPerS)
+	}
+}
+
+func TestSaturationBadConfig(t *testing.T) {
+	base := loadConfig{Target: "http://localhost:0", Conns: 1, Dist: "const", Seed: 1}
+	for _, sc := range []satConfig{
+		{StartRate: 0, Factor: 2, StepDuration: time.Second, P99TargetMS: 10},
+		{StartRate: 10, Factor: 1, StepDuration: time.Second, P99TargetMS: 10},
+		{StartRate: 10, Factor: 2, StepDuration: 0, P99TargetMS: 10},
+		{StartRate: 10, Factor: 2, StepDuration: time.Second, P99TargetMS: 0},
+	} {
+		if _, err := runSaturation(context.Background(), base, sc, io.Discard); err == nil {
+			t.Errorf("satConfig %+v accepted", sc)
+		}
+	}
+}
+
+func TestSaturationBenchLine(t *testing.T) {
+	res := &satResult{MaxSustainedPerS: 123.4, MaxOfferedPerS: 128, P99AtMaxMS: 9.5}
+	var sb strings.Builder
+	res.writeBench(&sb)
+	line := strings.TrimSpace(sb.String())
+	fields := strings.Fields(line)
+	if fields[0] != "BenchmarkE2ESaturation" {
+		t.Fatalf("bench line %q", line)
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		t.Fatalf("iterations %q not an int", fields[1])
+	}
+	if !strings.Contains(line, "decisions_per_s_saturated") {
+		t.Errorf("bench line %q missing decisions_per_s_saturated", line)
+	}
+}

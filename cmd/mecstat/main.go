@@ -153,6 +153,10 @@ type runAnalysis struct {
 	PredErrMAEMean *float64 `json:"pred_err_mae_mean,omitempty"`
 
 	delays []float64 // retained for the CDF table, not serialised
+	// hdr re-records the per-slot delays into a log-linear HDR recorder
+	// (internal/obs): bounded relative error at any quantile and exact
+	// cross-run merging for the ALL row of the HDR table.
+	hdr *obs.HDR
 }
 
 // regretFit is the Theorem-1 convergence diagnostic: cumulative regret R(t)
@@ -216,11 +220,13 @@ func analyse(fr obs.FlightRun) (runAnalysis, error) {
 		return a, fmt.Errorf("run %q has a header but no slot records", fr.Header.Policy)
 	}
 
+	a.hdr = obs.NewLatencyHDR()
 	var cumRegret []float64
 	var predSum float64
 	var predN int
 	for _, s := range fr.Slots {
 		a.delays = append(a.delays, s.DelayMS)
+		a.hdr.Record(int64(s.DelayMS * 1e6)) // ms -> ns, the recorder's unit
 		a.AvgDelayMS += s.DelayMS
 		if s.CumRegretMS != nil {
 			cumRegret = append(cumRegret, *s.CumRegretMS)
@@ -430,6 +436,31 @@ func render(out io.Writer, runs []runAnalysis) error {
 			}
 		}
 		fmt.Fprintf(out, " %8.3f\n", maxD)
+	}
+
+	// HDR-backed percentile table: deep-tail quantiles (p99.9) the sorted
+	// reference above doesn't show, plus an exact cross-run merge — the same
+	// recorder mecload uses on the serving path.
+	fmt.Fprintf(out, "\ndelay distribution (HDR recorder, ms):\n")
+	fmt.Fprintf(out, "%-16s %8s %8s %8s %8s %8s %8s %9s\n",
+		"policy", "p50", "p90", "p99", "p99.9", "max", "mean", "samples")
+	hdrRow := func(name string, h *obs.HDR) {
+		s := h.Snapshot()
+		fmt.Fprintf(out, "%-16s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %9d\n",
+			name, float64(s.P50)/1e6, float64(s.P90)/1e6, float64(s.P99)/1e6,
+			float64(s.P999)/1e6, float64(s.Max)/1e6, s.Mean/1e6, s.Count)
+	}
+	for _, a := range runs {
+		hdrRow(a.Policy, a.hdr)
+	}
+	if len(runs) > 1 {
+		merged := obs.NewLatencyHDR()
+		for _, a := range runs {
+			if err := merged.Merge(a.hdr); err != nil {
+				return err
+			}
+		}
+		hdrRow("ALL (merged)", merged)
 	}
 
 	// Degradation timeline.

@@ -75,10 +75,47 @@ func TestMecstatVerdictsAndTimeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"OL_GD", "Greedy_GD", "sublinear", "linear", "10-12", "outage=3", "delay distribution", "p50"} {
+	for _, want := range []string{"OL_GD", "Greedy_GD", "sublinear", "linear", "10-12", "outage=3", "delay distribution", "p50", "HDR recorder", "p99.9", "ALL (merged)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestMecstatHDRTable pins the HDR table's semantics: single runs get no
+// merged row, and the merged sample count is the exact sum of the per-run
+// counts (HDR merges are lossless).
+func TestMecstatHDRTable(t *testing.T) {
+	dir := t.TempDir()
+	one := filepath.Join(dir, "one.jsonl")
+	writeArtifact(t, one, "OL_GD", cumSqrt(50))
+
+	var buf bytes.Buffer
+	if err := run(&buf, []string{one}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "ALL (merged)") {
+		t.Error("single run rendered a merged row")
+	}
+
+	two := filepath.Join(dir, "two.jsonl")
+	writeArtifact(t, two, "Greedy_GD", cumLinear(70))
+	buf.Reset()
+	if err := run(&buf, []string{one, two}); err != nil {
+		t.Fatal(err)
+	}
+	var merged string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "ALL (merged)") {
+			merged = line
+		}
+	}
+	if merged == "" {
+		t.Fatalf("no merged HDR row in:\n%s", buf.String())
+	}
+	fields := strings.Fields(merged)
+	if got := fields[len(fields)-1]; got != "120" {
+		t.Errorf("merged samples = %s, want exact sum 120 (50+70)", got)
 	}
 }
 

@@ -311,12 +311,12 @@ func (o *OLGAN) LoadState(d *persist.Decoder) error {
 func (o *OLGAN) ResetWarmState() { o.inner.ResetWarmState() }
 
 var (
-	_ PersistentPolicy = (*OLGD)(nil)
-	_ PersistentPolicy = (*IndexOLGD)(nil)
-	_ PersistentPolicy = (*GreedyGD)(nil)
-	_ PersistentPolicy = (*PriGD)(nil)
-	_ PersistentPolicy = (*OLReg)(nil)
-	_ PersistentPolicy = (*OLGAN)(nil)
+	_ PersistentPolicy  = (*OLGD)(nil)
+	_ PersistentPolicy  = (*IndexOLGD)(nil)
+	_ PersistentPolicy  = (*GreedyGD)(nil)
+	_ PersistentPolicy  = (*PriGD)(nil)
+	_ PersistentPolicy  = (*OLReg)(nil)
+	_ PersistentPolicy  = (*OLGAN)(nil)
 	_ WarmStateResetter = (*OLGD)(nil)
 	_ WarmStateResetter = (*IndexOLGD)(nil)
 	_ WarmStateResetter = (*OLReg)(nil)

@@ -202,16 +202,16 @@ func TestParseRejectsBadSpecs(t *testing.T) {
 	net := testNet(t)
 	for _, spec := range []string{
 		"bogus:0.1",
-		"outage",          // missing rate
-		"outage:2",        // rate > 1
-		"outage:0.1:0",    // down < 1
-		"outage:x",        // non-numeric
-		"brownout:0.1:1.5",// factor >= 1
-		"spike:0.1:0.5",   // factor <= 1
-		"feedback:1.5",    // prob > 1
-		"surge:0.1:1",     // factor <= 1
-		"blackout:-1",     // negative slot
-		"outage:0.1:1:9",  // too many params
+		"outage",           // missing rate
+		"outage:2",         // rate > 1
+		"outage:0.1:0",     // down < 1
+		"outage:x",         // non-numeric
+		"brownout:0.1:1.5", // factor >= 1
+		"spike:0.1:0.5",    // factor <= 1
+		"feedback:1.5",     // prob > 1
+		"surge:0.1:1",      // factor <= 1
+		"blackout:-1",      // negative slot
+		"outage:0.1:1:9",   // too many params
 	} {
 		if _, err := Parse(spec, net, 1); err == nil {
 			t.Errorf("spec %q accepted", spec)

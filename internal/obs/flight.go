@@ -31,16 +31,16 @@ const (
 // hold several runs (e.g. a multi-policy comparison) — each starts with its
 // own header.
 type FlightHeader struct {
-	Type    string `json:"type"` // FlightTypeHeader
-	Version int    `json:"version"`
-	Policy  string `json:"policy"`
-	Slots   int    `json:"slots"`
-	Stations int   `json:"stations"`
-	Requests int   `json:"requests"`
-	Seed     int64 `json:"seed"`
-	DemandsGiven bool `json:"demands_given"`
-	TrackRegret  bool `json:"track_regret"`
-	Chaos        bool `json:"chaos,omitempty"`
+	Type         string `json:"type"` // FlightTypeHeader
+	Version      int    `json:"version"`
+	Policy       string `json:"policy"`
+	Slots        int    `json:"slots"`
+	Stations     int    `json:"stations"`
+	Requests     int    `json:"requests"`
+	Seed         int64  `json:"seed"`
+	DemandsGiven bool   `json:"demands_given"`
+	TrackRegret  bool   `json:"track_regret"`
+	Chaos        bool   `json:"chaos,omitempty"`
 }
 
 // FlightSlot is one slot's record. Optional pointer fields are present only
@@ -48,10 +48,10 @@ type FlightHeader struct {
 // epsilon/arm statistics need a bandit policy, prediction error needs hidden
 // demands).
 type FlightSlot struct {
-	Type    string  `json:"type"` // FlightTypeSlot
-	Policy  string  `json:"policy"`
-	Slot    int     `json:"slot"`
-	DelayMS float64 `json:"delay_ms"`
+	Type     string  `json:"type"` // FlightTypeSlot
+	Policy   string  `json:"policy"`
+	Slot     int     `json:"slot"`
+	DelayMS  float64 `json:"delay_ms"`
 	DecideMS float64 `json:"decide_ms"`
 	// OracleDelayMS and the regret fields mirror the shadow oracle of Eq. (10).
 	OracleDelayMS *float64 `json:"oracle_delay_ms,omitempty"`
@@ -80,17 +80,17 @@ type FlightSlot struct {
 
 // FlightSummary closes one policy's run.
 type FlightSummary struct {
-	Type           string  `json:"type"` // FlightTypeSummary
-	Policy         string  `json:"policy"`
-	Slots          int     `json:"slots"`
-	AvgDelayMS     float64 `json:"avg_delay_ms"`
-	TotalRuntimeMS float64 `json:"total_runtime_ms"`
+	Type           string   `json:"type"` // FlightTypeSummary
+	Policy         string   `json:"policy"`
+	Slots          int      `json:"slots"`
+	AvgDelayMS     float64  `json:"avg_delay_ms"`
+	TotalRuntimeMS float64  `json:"total_runtime_ms"`
 	CumRegretMS    *float64 `json:"cum_regret_ms,omitempty"`
-	OverloadSlots  int     `json:"overload_slots,omitempty"`
-	DegradedSlots  int     `json:"degraded_slots,omitempty"`
-	FallbackSolves int     `json:"fallback_solves,omitempty"`
-	DecideFailures int     `json:"decide_failures,omitempty"`
-	FaultsInjected int     `json:"faults_injected,omitempty"`
+	OverloadSlots  int      `json:"overload_slots,omitempty"`
+	DegradedSlots  int      `json:"degraded_slots,omitempty"`
+	FallbackSolves int      `json:"fallback_solves,omitempty"`
+	DecideFailures int      `json:"decide_failures,omitempty"`
+	FaultsInjected int      `json:"faults_injected,omitempty"`
 }
 
 // FlightRecorder appends flight records as buffered JSONL. All methods are

@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// HDR is a log-linear ("HdrHistogram"-style) latency histogram: values are
+// bucketed with a fixed number of significant digits, so the relative error
+// of any reported quantile is bounded by the configured precision across the
+// whole range — sub-microsecond fast paths and multi-minute stalls resolve
+// equally well, unlike a fixed-bucket Histogram whose resolution is whatever
+// the bound list happens to give at that scale.
+//
+// The intended use is one recorder per producer (one per load-generator
+// connection) merged after the fact: Record is deliberately NOT
+// concurrent-safe — it is a plain array increment, the cheapest possible hot
+// path — and Merge is EXACT (bucket-wise addition, no resampling), so the
+// merge of per-connection recorders is bit-for-bit the histogram a single
+// global recorder would have produced.
+//
+// Values are int64 in whatever unit the caller picks; the load-measurement
+// tooling records nanoseconds (see NewLatencyHDR). Values above the
+// configured maximum are clamped into the top bucket and counted in
+// Clamped; negative values record as zero.
+type HDR struct {
+	lowest  int64 // lowest discernible value (resolution floor)
+	highest int64 // highest trackable value (larger values clamp)
+	sigfigs int
+
+	unitMagnitude               int
+	subBucketCount              int
+	subBucketHalfCount          int
+	subBucketHalfCountMagnitude int
+	subBucketMask               int64
+
+	counts  []int64
+	total   int64
+	sum     float64
+	min     int64
+	max     int64
+	clamped int64
+}
+
+// NewHDR builds a histogram tracking values in [lowest, highest] with the
+// given decimal significant figures (1..5). lowest is the resolution floor
+// (values below it all share the bottom buckets); highest bounds memory —
+// the counts array is O(log2(highest/lowest) * 10^sigfigs) entries.
+func NewHDR(lowest, highest int64, sigfigs int) (*HDR, error) {
+	if lowest < 1 {
+		return nil, fmt.Errorf("obs: HDR lowest %d: want >= 1", lowest)
+	}
+	if highest < 2*lowest {
+		return nil, fmt.Errorf("obs: HDR highest %d: want >= 2*lowest (%d)", highest, 2*lowest)
+	}
+	if sigfigs < 1 || sigfigs > 5 {
+		return nil, fmt.Errorf("obs: HDR sigfigs %d: want 1..5", sigfigs)
+	}
+	h := &HDR{lowest: lowest, highest: highest, sigfigs: sigfigs, min: math.MaxInt64}
+	// Sub-buckets are the linear part: enough of them that one bucket's worth
+	// of linear steps resolves sigfigs decimal digits.
+	largestSingleUnit := int64(2)
+	for i := 0; i < sigfigs; i++ {
+		largestSingleUnit *= 10
+	}
+	subBucketCountMagnitude := bitLen(largestSingleUnit - 1)
+	h.subBucketHalfCountMagnitude = subBucketCountMagnitude - 1
+	h.unitMagnitude = bitLen(lowest) - 1
+	h.subBucketCount = 1 << subBucketCountMagnitude
+	h.subBucketHalfCount = h.subBucketCount / 2
+	h.subBucketMask = int64(h.subBucketCount-1) << uint(h.unitMagnitude)
+
+	// The exponential part: double bucket width until highest is covered.
+	buckets := 1
+	smallest := int64(h.subBucketCount) << uint(h.unitMagnitude)
+	for smallest < highest {
+		if smallest > math.MaxInt64/2 {
+			buckets++
+			break
+		}
+		smallest <<= 1
+		buckets++
+	}
+	h.counts = make([]int64, (buckets+1)*h.subBucketHalfCount)
+	return h, nil
+}
+
+// NewLatencyHDR is the load-measurement default: nanosecond values from 1 ns
+// to 10 minutes at 2 significant figures (≤ ~1% relative quantile error,
+// ~32 KiB per recorder).
+func NewLatencyHDR() *HDR {
+	h, err := NewHDR(1, int64(10*time.Minute), 2)
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return h
+}
+
+// bitLen returns the number of bits needed to represent v (0 for v <= 0).
+func bitLen(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return 64 - bits.LeadingZeros64(uint64(v))
+}
+
+func (h *HDR) bucketIndex(v int64) int {
+	return bitLen(v|h.subBucketMask) - h.unitMagnitude - (h.subBucketHalfCountMagnitude + 1)
+}
+
+func (h *HDR) subBucketIndex(v int64, bucketIdx int) int {
+	return int(v >> uint(bucketIdx+h.unitMagnitude))
+}
+
+func (h *HDR) countsIndex(v int64) int {
+	bucketIdx := h.bucketIndex(v)
+	subBucketIdx := h.subBucketIndex(v, bucketIdx)
+	base := (bucketIdx + 1) << uint(h.subBucketHalfCountMagnitude)
+	return base + subBucketIdx - h.subBucketHalfCount
+}
+
+// valueFromIndex reconstructs the lowest value mapping to counts slot index.
+func (h *HDR) valueFromIndex(index int) int64 {
+	bucketIdx := (index >> uint(h.subBucketHalfCountMagnitude)) - 1
+	subBucketIdx := (index & (h.subBucketHalfCount - 1)) + h.subBucketHalfCount
+	if bucketIdx < 0 {
+		subBucketIdx -= h.subBucketHalfCount
+		bucketIdx = 0
+	}
+	return int64(subBucketIdx) << uint(bucketIdx+h.unitMagnitude)
+}
+
+// equivalentRange is the width of the bucket holding v: every value in
+// [lowestEquivalent, lowestEquivalent+range) is indistinguishable from v.
+func (h *HDR) equivalentRange(v int64) int64 {
+	bucketIdx := h.bucketIndex(v)
+	if h.subBucketIndex(v, bucketIdx) >= h.subBucketCount {
+		bucketIdx++
+	}
+	return int64(1) << uint(h.unitMagnitude+bucketIdx)
+}
+
+// highestEquivalent is the largest value indistinguishable from v.
+func (h *HDR) highestEquivalent(v int64) int64 {
+	bucketIdx := h.bucketIndex(v)
+	lower := int64(h.subBucketIndex(v, bucketIdx)) << uint(bucketIdx+h.unitMagnitude)
+	return lower + h.equivalentRange(v) - 1
+}
+
+// Record adds one value. Negative values record as 0; values above the
+// trackable maximum clamp into the top bucket (counted in Clamped). NOT
+// concurrent-safe: use one recorder per producer and Merge afterwards.
+func (h *HDR) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if v > h.highest {
+		v = h.highest
+		h.clamped++
+	}
+	h.counts[h.countsIndex(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// RecordCorrected adds one value with coordinated-omission back-fill: when a
+// measured value came from a closed-loop probe that should have fired every
+// expectedInterval, the stall it measured also delayed the probes that never
+// fired, so the missing observations (v-expectedInterval, v-2·interval, ...)
+// are synthesised. An open-loop recorder that measures against intended send
+// times does not need this — the lateness is already in v — which is why the
+// load generator uses plain Record.
+func (h *HDR) RecordCorrected(v, expectedInterval int64) {
+	h.Record(v)
+	if expectedInterval <= 0 {
+		return
+	}
+	for missing := v - expectedInterval; missing >= expectedInterval; missing -= expectedInterval {
+		h.Record(missing)
+	}
+}
+
+// Merge adds o's recorded values into h, exactly: the result is bit-identical
+// to a single recorder having seen both streams. The two histograms must
+// share a configuration.
+func (h *HDR) Merge(o *HDR) error {
+	if o == nil {
+		return nil
+	}
+	if h.lowest != o.lowest || h.highest != o.highest || h.sigfigs != o.sigfigs {
+		return fmt.Errorf("obs: HDR merge config mismatch: [%d,%d]@%d vs [%d,%d]@%d",
+			h.lowest, h.highest, h.sigfigs, o.lowest, o.highest, o.sigfigs)
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	h.clamped += o.clamped
+	if o.total > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+	return nil
+}
+
+// Count returns the number of recorded values.
+func (h *HDR) Count() int64 { return h.total }
+
+// Clamped returns how many recorded values exceeded the trackable maximum.
+func (h *HDR) Clamped() int64 { return h.clamped }
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *HDR) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (h *HDR) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean of recorded values (0 when empty).
+func (h *HDR) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns the value at the q-th percentile (0..100): the highest
+// value equivalent to the bucket holding the rank-q observation, so the
+// true observation is within the configured relative error below the
+// returned value. Returns 0 on an empty histogram. The result is clamped to
+// the recorded maximum (the bucket's upper edge can exceed it).
+func (h *HDR) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q > 100 {
+		q = 100
+	}
+	rank := int64(q/100*float64(h.total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			v := h.highestEquivalent(h.valueFromIndex(i))
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// HDRSnapshot is a frozen, JSON-friendly summary of an HDR recorder. Values
+// carry the recorder's unit (nanoseconds for NewLatencyHDR).
+type HDRSnapshot struct {
+	Count   int64   `json:"count"`
+	Min     int64   `json:"min"`
+	Max     int64   `json:"max"`
+	Mean    float64 `json:"mean"`
+	P50     int64   `json:"p50"`
+	P90     int64   `json:"p90"`
+	P99     int64   `json:"p99"`
+	P999    int64   `json:"p999"`
+	Clamped int64   `json:"clamped,omitempty"`
+}
+
+// Snapshot freezes the recorder's headline stats.
+func (h *HDR) Snapshot() HDRSnapshot {
+	return HDRSnapshot{
+		Count:   h.total,
+		Min:     h.Min(),
+		Max:     h.max,
+		Mean:    h.Mean(),
+		P50:     h.Quantile(50),
+		P90:     h.Quantile(90),
+		P99:     h.Quantile(99),
+		P999:    h.Quantile(99.9),
+		Clamped: h.clamped,
+	}
+}

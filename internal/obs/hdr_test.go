@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHDRBasics(t *testing.T) {
+	h := NewLatencyHDR()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(99) != 0 {
+		t.Fatalf("empty HDR not all-zero: %+v", h.Snapshot())
+	}
+	vals := []int64{1500, 2500, 1_000_000, 42}
+	var sum int64
+	for _, v := range vals {
+		h.Record(v)
+		sum += v
+	}
+	if h.Count() != int64(len(vals)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(vals))
+	}
+	if h.Min() != 42 || h.Max() != 1_000_000 {
+		t.Fatalf("min/max = %d/%d, want 42/1000000", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), float64(sum)/float64(len(vals)); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %g, want %g", got, want)
+	}
+	// Negative records as zero, overflow clamps.
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatalf("min after negative record = %d, want 0", h.Min())
+	}
+	h.Record(int64(2 * time.Hour))
+	if h.Clamped() != 1 {
+		t.Fatalf("clamped = %d, want 1", h.Clamped())
+	}
+	if h.Max() != int64(10*time.Minute) {
+		t.Fatalf("max after clamp = %d, want %d", h.Max(), int64(10*time.Minute))
+	}
+}
+
+func TestHDRBadConfig(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi int64
+		sf     int
+	}{
+		{0, 100, 2}, {1, 1, 2}, {1, 1000, 0}, {1, 1000, 6},
+	} {
+		if _, err := NewHDR(tc.lo, tc.hi, tc.sf); err == nil {
+			t.Errorf("NewHDR(%d,%d,%d): want error", tc.lo, tc.hi, tc.sf)
+		}
+	}
+}
+
+// TestHDRQuantileBoundsVsSortedReference is the precision property: for
+// random value sets spanning seven orders of magnitude, every reported
+// quantile must bracket the exact order statistic from above within the
+// configured relative error (2 sigfigs ⇒ sub-bucket width ≤ 1/128 of the
+// value).
+func TestHDRQuantileBoundsVsSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		h := NewLatencyHDR()
+		n := 100 + rng.Intn(2000)
+		vals := make([]int64, n)
+		for i := range vals {
+			// Log-uniform over [1µs, 30s]: exercises many bucket magnitudes.
+			exp := 3 + rng.Float64()*7.5
+			vals[i] = int64(math.Pow(10, exp))
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0, 10, 50, 90, 99, 99.9, 100} {
+			rank := int(q/100*float64(n) + 0.5)
+			if rank < 1 {
+				rank = 1
+			}
+			exact := vals[rank-1]
+			got := h.Quantile(q)
+			if got < exact {
+				t.Fatalf("trial %d q%g: HDR %d below exact order statistic %d", trial, q, got, exact)
+			}
+			relErr := float64(got-exact) / float64(exact)
+			if relErr > 1.0/128+1e-12 {
+				t.Fatalf("trial %d q%g: HDR %d vs exact %d, rel err %.4f > 1/128", trial, q, got, exact, relErr)
+			}
+		}
+		if h.Max() != vals[n-1] || h.Min() != vals[0] {
+			t.Fatalf("trial %d: min/max %d/%d, want %d/%d", trial, h.Min(), h.Max(), vals[0], vals[n-1])
+		}
+	}
+}
+
+// TestHDRMergeAssociativity is the merge property: merging per-connection
+// recorders in any grouping must be bit-identical to one global recorder
+// having seen the concatenated stream.
+func TestHDRMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	record := func(h *HDR, n int) {
+		for i := 0; i < n; i++ {
+			h.Record(int64(rng.Intn(int(5 * time.Second))))
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		a, b, c := NewLatencyHDR(), NewLatencyHDR(), NewLatencyHDR()
+		global := NewLatencyHDR()
+		parts := []*HDR{a, b, c}
+		for _, p := range parts {
+			n := 50 + rng.Intn(500)
+			record(p, n)
+		}
+		// Rebuild the global stream deterministically from the parts' counts
+		// by replaying each counts slot (merge exactness means slot-wise
+		// equality is the invariant, not stream order).
+		left := NewLatencyHDR()  // (a ⊕ b) ⊕ c
+		right := NewLatencyHDR() // a ⊕ (b ⊕ c)
+		bc := NewLatencyHDR()
+		for _, m := range []struct {
+			dst  *HDR
+			srcs []*HDR
+		}{
+			{left, []*HDR{a, b}}, {left, []*HDR{c}},
+			{bc, []*HDR{b, c}}, {right, []*HDR{a, bc}},
+			{global, parts},
+		} {
+			for _, s := range m.srcs {
+				if err := m.dst.Merge(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for i := range global.counts {
+			if left.counts[i] != global.counts[i] || right.counts[i] != global.counts[i] {
+				t.Fatalf("trial %d: counts[%d] left=%d right=%d global=%d",
+					trial, i, left.counts[i], right.counts[i], global.counts[i])
+			}
+		}
+		if left.total != global.total || right.total != global.total ||
+			left.min != global.min || right.min != global.min ||
+			left.max != global.max || right.max != global.max ||
+			left.sum != global.sum || right.sum != global.sum {
+			t.Fatalf("trial %d: summary fields diverge across merge groupings", trial)
+		}
+		for _, q := range []float64{50, 99, 99.9} {
+			if left.Quantile(q) != global.Quantile(q) || right.Quantile(q) != global.Quantile(q) {
+				t.Fatalf("trial %d: q%g differs across merge groupings", trial, q)
+			}
+		}
+	}
+}
+
+func TestHDRMergeConfigMismatch(t *testing.T) {
+	a := NewLatencyHDR()
+	b, err := NewHDR(1, int64(time.Second), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of mismatched configs: want error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merge nil: %v", err)
+	}
+}
+
+// TestHDRRecordCorrected checks the closed-loop coordinated-omission
+// back-fill: one 1s stall measured by a probe that should fire every 100ms
+// synthesises the nine missed observations at 900ms, 800ms, ..., 100ms.
+func TestHDRRecordCorrected(t *testing.T) {
+	h := NewLatencyHDR()
+	sec := int64(time.Second)
+	interval := int64(100 * time.Millisecond)
+	h.RecordCorrected(sec, interval)
+	if h.Count() != 10 {
+		t.Fatalf("count = %d, want 10 (1 real + 9 back-filled)", h.Count())
+	}
+	// Median of {0.1s..1s} is ~0.5s; uncorrected it would be 1s.
+	p50 := h.Quantile(50)
+	if p50 < int64(400*time.Millisecond) || p50 > int64(600*time.Millisecond) {
+		t.Fatalf("corrected p50 = %v, want ~500ms", time.Duration(p50))
+	}
+	// Zero/negative interval degrades to plain Record.
+	h2 := NewLatencyHDR()
+	h2.RecordCorrected(sec, 0)
+	if h2.Count() != 1 {
+		t.Fatalf("count with zero interval = %d, want 1", h2.Count())
+	}
+}
+
+func TestHDRSnapshot(t *testing.T) {
+	h := NewLatencyHDR()
+	for i := 1; i <= 1000; i++ {
+		h.Record(int64(i) * int64(time.Millisecond))
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Min != int64(time.Millisecond) || s.Max != int64(time.Second) {
+		t.Fatalf("snapshot headline: %+v", s)
+	}
+	if s.P50 < int64(490*time.Millisecond) || s.P50 > int64(510*time.Millisecond) {
+		t.Fatalf("p50 = %v, want ~500ms", time.Duration(s.P50))
+	}
+	if s.P99 < int64(980*time.Millisecond) || s.P99 > int64(time.Second) {
+		t.Fatalf("p99 = %v, want ~990ms", time.Duration(s.P99))
+	}
+	if s.P999 > s.Max || s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.P999 {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+}

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	// sampleRe splits one exposition line: name, optional {labels}, value.
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (\S+)$`)
+)
+
+// parseLabels splits a `{k="v",...}` block into pairs, honouring the escape
+// rules of the text exposition format (\\, \", \n inside values).
+func parseLabels(t *testing.T, block string) [][2]string {
+	t.Helper()
+	if block == "" {
+		return nil
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	var out [][2]string
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			t.Fatalf("label block %q: no = after offset %d", block, i)
+		}
+		name := body[i : i+eq]
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			t.Fatalf("label block %q: value of %q not quoted", block, name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(body) {
+				t.Fatalf("label block %q: unterminated value of %q", block, name)
+			}
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					t.Fatalf("label block %q: dangling backslash", block)
+				}
+				val.WriteByte(body[i+1])
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\n' {
+				t.Fatalf("label block %q: raw newline inside value of %q", block, name)
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out = append(out, [2]string{name, val.String()})
+		if i < len(body) {
+			if body[i] != ',' {
+				t.Fatalf("label block %q: expected , at offset %d", block, i)
+			}
+			i++
+		}
+	}
+	return out
+}
+
+// TestPrometheusExpositionConformance drives the /metrics writer over a
+// registry with hostile label values and labeled histograms and checks the
+// text exposition format (0.0.4) invariants a real Prometheus scraper
+// depends on: legal metric/label names, exactly one TYPE header per family
+// (before its first sample), escaped label values, strictly increasing le
+// bounds, cumulative (monotone) bucket counts ending in +Inf == _count, and
+// _sum/_count consistent with the recorded observations.
+func TestPrometheusExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.requests_total").Add(7)
+	r.CounterL("serve.requests", L("cell", `c"quoted"`, "route", "decide")...).Add(3)
+	r.CounterL("serve.requests", L("cell", `back\slash`, "route", "ob\nserve")...).Add(2)
+	r.Gauge("queue.depth").Set(4.5)
+	r.GaugeL("queue.depth_by", L("shard", "s0")...).Set(math.Inf(1))
+	h := r.Histogram("e2e.latency_ms", []float64{1, 2.5, 10})
+	for _, v := range []float64{0.5, 2, 3, 50} {
+		h.Observe(v)
+	}
+	hl := r.HistogramL("e2e.latency_by_ms", []float64{1, 5}, L("route", "decide")...)
+	hl.Observe(0.25)
+	hl.Observe(7)
+
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	type histState struct {
+		lastLe    float64
+		lastCount int64
+		infCount  *int64
+		sum       *float64
+		count     *int64
+	}
+	typeOf := map[string]string{}
+	hists := map[string]*histState{} // family+labels -> state
+	samplesSeen := map[string]bool{}
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			family, kind := parts[2], parts[3]
+			if !metricNameRe.MatchString(family) {
+				t.Errorf("TYPE header has illegal family name %q", family)
+			}
+			if _, dup := typeOf[family]; dup {
+				t.Errorf("family %q has more than one TYPE header", family)
+			}
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Errorf("family %q has unknown type %q", family, kind)
+			}
+			typeOf[family] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparsable sample line %q", line)
+		}
+		name, labelBlock, valueStr := m[1], m[2], m[3]
+		if samplesSeen[name+labelBlock] {
+			t.Errorf("duplicate sample %s%s", name, labelBlock)
+		}
+		samplesSeen[name+labelBlock] = true
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil && valueStr != "+Inf" && valueStr != "-Inf" && valueStr != "NaN" {
+			t.Fatalf("sample %q: bad value %q", line, valueStr)
+		}
+		if valueStr == "+Inf" {
+			value = math.Inf(1)
+		}
+
+		labels := parseLabels(t, labelBlock)
+		var le *float64
+		var otherLabels []string
+		for _, kv := range labels {
+			if !labelNameRe.MatchString(kv[0]) {
+				t.Errorf("sample %q: illegal label name %q", line, kv[0])
+			}
+			if kv[0] == "le" {
+				v, err := strconv.ParseFloat(kv[1], 64)
+				if err != nil && kv[1] != "+Inf" {
+					t.Fatalf("sample %q: bad le %q", line, kv[1])
+				}
+				if kv[1] == "+Inf" {
+					v = math.Inf(1)
+				}
+				le = &v
+				continue
+			}
+			otherLabels = append(otherLabels, kv[0]+"="+kv[1])
+		}
+
+		// Histogram family bookkeeping: the base family must be TYPEd
+		// histogram and the _bucket series cumulative per label set.
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			family := strings.TrimSuffix(name, "_bucket")
+			if typeOf[family] != "histogram" {
+				t.Errorf("%s_bucket before/without histogram TYPE for %q", family, family)
+			}
+			if le == nil {
+				t.Fatalf("bucket sample %q has no le label", line)
+			}
+			key := family + "|" + strings.Join(otherLabels, ",")
+			st := hists[key]
+			if st == nil {
+				st = &histState{lastLe: math.Inf(-1), lastCount: -1}
+				hists[key] = st
+			}
+			if *le <= st.lastLe {
+				t.Errorf("%s: le %v not strictly increasing after %v", key, *le, st.lastLe)
+			}
+			if int64(value) < st.lastCount {
+				t.Errorf("%s: bucket count %v decreased (cumulative counts must be monotone)", key, value)
+			}
+			st.lastLe = *le
+			st.lastCount = int64(value)
+			if math.IsInf(*le, 1) {
+				c := int64(value)
+				st.infCount = &c
+			}
+		case strings.HasSuffix(name, "_sum"):
+			family := strings.TrimSuffix(name, "_sum")
+			if typeOf[family] == "histogram" {
+				key := family + "|" + strings.Join(otherLabels, ",")
+				st := hists[key]
+				if st == nil {
+					st = &histState{lastLe: math.Inf(-1), lastCount: -1}
+					hists[key] = st
+				}
+				v := value
+				st.sum = &v
+			}
+		case strings.HasSuffix(name, "_count"):
+			family := strings.TrimSuffix(name, "_count")
+			if typeOf[family] == "histogram" {
+				key := family + "|" + strings.Join(otherLabels, ",")
+				st := hists[key]
+				if st == nil {
+					st = &histState{lastLe: math.Inf(-1), lastCount: -1}
+					hists[key] = st
+				}
+				c := int64(value)
+				st.count = &c
+			}
+		default:
+			if _, ok := typeOf[name]; !ok {
+				t.Errorf("sample %q has no TYPE header for family %q", line, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(hists) != 2 {
+		t.Fatalf("saw %d histogram series, want 2", len(hists))
+	}
+	for key, st := range hists {
+		if st.infCount == nil || st.count == nil || st.sum == nil {
+			t.Fatalf("%s: missing +Inf bucket, _count, or _sum", key)
+		}
+		if *st.infCount != *st.count {
+			t.Errorf("%s: +Inf bucket %d != _count %d", key, *st.infCount, *st.count)
+		}
+	}
+	// _sum/_count must reproduce the recorded observations exactly.
+	check := func(key string, wantCount int64, wantSum float64) {
+		st := hists[key]
+		if st == nil {
+			t.Fatalf("histogram series %q not exposed", key)
+		}
+		if *st.count != wantCount || math.Abs(*st.sum-wantSum) > 1e-9 {
+			t.Errorf("%s: count/sum = %d/%v, want %d/%v", key, *st.count, *st.sum, wantCount, wantSum)
+		}
+	}
+	check("e2e_latency_ms|", 4, 0.5+2+3+50)
+	check("e2e_latency_by_ms|route=decide", 2, 0.25+7)
+
+	// The hostile label values survived escaping: the parsed-back values
+	// match the originals.
+	wantValues := map[string]bool{`c"quoted"`: false, `back\slash`: false, "ob\nserve": false}
+	for seen := range samplesSeen {
+		for want := range wantValues {
+			probe := seen
+			if strings.Contains(probe, escapeLabelValue(want)) {
+				wantValues[want] = true
+			}
+		}
+	}
+	for v, ok := range wantValues {
+		if !ok {
+			t.Errorf("escaped label value %q not found in exposition", v)
+		}
+	}
+}
+
+// TestPrometheusNamesSanitised pins promName: dots become underscores,
+// leading digits are prefixed, and the result always matches the metric-name
+// grammar.
+func TestPrometheusNamesSanitised(t *testing.T) {
+	for in, want := range map[string]string{
+		"serve.e2e_ms":   "serve_e2e_ms",
+		"9lives":         "_9lives",
+		"a-b c":          "a_b_c",
+		"ok_name:colons": "ok_name:colons",
+	} {
+		got := promName(in)
+		if got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+		if !metricNameRe.MatchString(got) {
+			t.Errorf("promName(%q) = %q: not a legal metric name", in, got)
+		}
+	}
+}

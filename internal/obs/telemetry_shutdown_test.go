@@ -65,6 +65,7 @@ func TestTelemetryConcurrentScrapeAndClose(t *testing.T) {
 	// SSE subscriber: must observe at least one event, then unblock when the
 	// server closes (not hang on a silent stream).
 	sseDone := make(chan error, 1)
+	sawEvent := make(chan struct{})
 	go func() {
 		resp, err := http.Get(ts.URL() + "/events")
 		if err != nil {
@@ -76,7 +77,10 @@ func TestTelemetryConcurrentScrapeAndClose(t *testing.T) {
 		saw := false
 		for sc.Scan() {
 			if strings.HasPrefix(sc.Text(), "data:") {
-				saw = true
+				if !saw {
+					saw = true
+					close(sawEvent)
+				}
 			}
 		}
 		if !saw {
@@ -85,7 +89,14 @@ func TestTelemetryConcurrentScrapeAndClose(t *testing.T) {
 		sseDone <- nil // reader unblocked: the stream ended
 	}()
 
-	time.Sleep(50 * time.Millisecond)
+	// Close only after the subscriber has provably received an event — a
+	// fixed sleep races the subscriber's connect/flush on a loaded box. The
+	// timeout keeps a genuinely silent stream from wedging the test; the
+	// subscriber's own check then reports the missing event.
+	select {
+	case <-sawEvent:
+	case <-time.After(5 * time.Second):
+	}
 	if err := ts.Close(); err != nil {
 		t.Errorf("close: %v", err)
 	}

@@ -81,6 +81,12 @@ type (
 	DecisionServerConfig = serve.Config
 	// DecisionCellInfo is one cell's status row in DecisionServer.Cells.
 	DecisionCellInfo = serve.CellInfo
+	// DriveConfig parameterises DecisionServer.Drive, the programmatic
+	// closed-loop load path (mecd -drive) with Retry-After-grounded,
+	// jittered backpressure retries.
+	DriveConfig = serve.DriveConfig
+	// DriveSummary is a Drive run's outcome (decisions, retries, throughput).
+	DriveSummary = serve.DriveSummary
 	// SLOTracker is a rolling-window SLO monitor for the serving path: attach
 	// one via DecisionServerConfig.SLO and the daemon feeds it every request's
 	// end-to-end latency and outcome; /slo serves its report and /healthz
@@ -92,6 +98,14 @@ type (
 	// SLOReport is an SLOTracker's current view: per-window burn rates plus
 	// the condensed ok/degraded/overloaded state.
 	SLOReport = obs.SLOReport
+	// HDR is a mergeable log-linear latency histogram (HdrHistogram layout):
+	// bounded relative error across sub-µs..minutes, exact merge of
+	// per-connection recorders, and coordinated-omission correction via
+	// RecordCorrected. cmd/mecload records every request into one.
+	HDR = obs.HDR
+	// HDRSnapshot is a frozen, JSON-friendly HDR summary (count, min/max,
+	// mean, p50/p90/p99/p99.9).
+	HDRSnapshot = obs.HDRSnapshot
 )
 
 // SLO health states reported by SLOTracker.Report and mecd's /healthz.
@@ -104,6 +118,16 @@ const (
 // NewSLOTracker builds a rolling-window SLO tracker for the decision server
 // (see SLOConfig; every field of the zero value gets a serving default).
 func NewSLOTracker(cfg SLOConfig) *SLOTracker { return obs.NewSLOTracker(cfg) }
+
+// NewLatencyHDR builds an HDR recorder spanning 1ns..10min at 2 significant
+// figures (~32KiB, relative error <= 1/128) — the load-generator default.
+func NewLatencyHDR() *HDR { return obs.NewLatencyHDR() }
+
+// NewHDR builds an HDR recorder over [lowest, highest] at the given
+// significant figures (1..5). See obs.NewHDR for the layout contract.
+func NewHDR(lowest, highest int64, sigfigs int) (*HDR, error) {
+	return obs.NewHDR(lowest, highest, sigfigs)
+}
 
 // Decision-server sentinel errors, re-exported so daemon clients (and
 // cmd/mecd's self-drive loop) can branch on backpressure vs shutdown.

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# End-to-end serving benchmark: start mecd, drive it with mecload's open-loop
+# generator (fixed offered rate, then a saturation search), and record the
+# result into the benchmark-trajectory file via cmd/benchjson -merge — so the
+# BENCH_<pr>.json that `make bench-json` wrote gains E2EOpenLoop (e2e_p50_ms,
+# e2e_p99_ms, decisions_per_s) and E2ESaturation (decisions_per_s_saturated)
+# entries, and cmd/benchdiff gates the serving path like any other bench.
+#
+# Tunables (env): PR OUT ADDR CELLS RATE DURATION WARMUP SAT_START SAT_STEP
+# SAT_P99_MS CHAOS. Defaults give a ~1 min run.
+set -euo pipefail
+
+PR="${PR:-9}"
+OUT="${OUT:-BENCH_${PR}.json}"
+ADDR="${ADDR:-localhost:8372}"
+CELLS="${CELLS:-16}"
+RATE="${RATE:-100}"
+DURATION="${DURATION:-10s}"
+WARMUP="${WARMUP:-2s}"
+SAT_START="${SAT_START:-50}"
+SAT_STEP="${SAT_STEP:-4s}"
+SAT_P99_MS="${SAT_P99_MS:-50}"
+CHAOS="${CHAOS:-}"
+
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)"
+mecd_pid=""
+cleanup() {
+    [ -n "$mecd_pid" ] && kill "$mecd_pid" 2>/dev/null || true
+    [ -n "$mecd_pid" ] && wait "$mecd_pid" 2>/dev/null || true
+    rm -rf "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin/mecd" ./cmd/mecd
+go build -o "$bin/mecload" ./cmd/mecload
+go build -o "$bin/benchjson" ./cmd/benchjson
+
+mecd_args=(-addr "$ADDR" -cells "$CELLS")
+[ -n "$CHAOS" ] && mecd_args+=(-chaos "$CHAOS")
+"$bin/mecd" "${mecd_args[@]}" 1>&2 &
+mecd_pid=$!
+
+# Wait for the listener (pure-bash TCP probe, no curl dependency).
+host="${ADDR%:*}"; port="${ADDR##*:}"
+for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/$host/$port") 2>/dev/null; then
+        exec 3>&- 3<&-
+        break
+    fi
+    if ! kill -0 "$mecd_pid" 2>/dev/null; then
+        echo "bench_e2e: mecd exited before accepting connections" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Fixed-rate open-loop run, then the saturation search. mecload -bench puts
+# go-test benchmark lines on stdout and the human report on stderr.
+{
+    "$bin/mecload" -addr "http://$ADDR" -rate "$RATE" -warmup "$WARMUP" \
+        -duration "$DURATION" -bench
+    "$bin/mecload" -addr "http://$ADDR" -saturate -sat-start "$SAT_START" \
+        -sat-step "$SAT_STEP" -sat-p99-ms "$SAT_P99_MS" -sat-refine 2 -bench
+} | "$bin/benchjson" -pr "$PR" -merge -out "$OUT"
+
+echo "bench_e2e: wrote e2e entries into $OUT" >&2
