@@ -2,7 +2,7 @@
 
 GO ?= go
 # PR number stamped into the benchmark-trajectory file (BENCH_$(PR).json).
-PR ?= 8
+PR ?= 10
 
 .PHONY: all build test test-short vet race bench bench-json bench-e2e figures examples fuzz chaos mecstat-smoke clean
 
@@ -40,13 +40,16 @@ chaos:
 # Fuzz the parsers that ingest external input: the trace-CSV reader, the
 # chaos-spec grammar (which must also round-trip through Schedule.Spec), and
 # the durable-state decoders (snapshot framing and WAL replay, which face
-# arbitrary torn/bit-flipped bytes after a crash).
+# arbitrary torn/bit-flipped bytes after a crash) — plus the network-simplex
+# solver on arbitrary small graphs (never panics, invariants always hold,
+# agrees with SSP on non-negative costs).
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -fuzz=FuzzReadTraceCSV -fuzztime=$(FUZZTIME) ./internal/workload/
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/faults/
 	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=$(FUZZTIME) ./internal/persist/
 	$(GO) test -fuzz=FuzzReplayWAL -fuzztime=$(FUZZTIME) ./internal/persist/
+	$(GO) test -fuzz=FuzzMinCostFlowSimplex -fuzztime=$(FUZZTIME) ./internal/flow/
 
 # Full benchmark suite: regenerates every paper figure plus the ablations.
 bench:
@@ -67,7 +70,7 @@ bench:
 # building carried bases/flows) instead of on its cold-start transient.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'ObserverNopHooks' -benchmem -benchtime 100000x -count 3 . && \
-	  $(GO) test -run '^$$' -bench 'SolveLP|LSTMStep|Incremental|Checkpoint|Recovery' -benchmem -benchtime 20x -count 3 . && \
+	  $(GO) test -run '^$$' -bench 'SolveLP|LSTMStep|Incremental|SimplexColdVsWarm|Checkpoint|Recovery' -benchmem -benchtime 20x -count 3 . && \
 	  $(GO) test -run '^$$' -bench 'DecisionServer64Cells' -benchmem -benchtime 15x . && \
 	  $(GO) test -run '^$$' -bench 'Fig|RegretBound|GammaSweep|ScheduleAblation|AdaptiveBaselines|OracleGap|WarmCacheAblation|FailureRobustness|ScheduledEvents|ObserverSimOverhead' -benchmem -benchtime 1x . ; } \
 		| $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json

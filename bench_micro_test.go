@@ -152,6 +152,44 @@ func BenchmarkIncrementalFlow(b *testing.B) {
 	}
 }
 
+// BenchmarkSimplexColdVsWarm measures the network-simplex flow engine at
+// experiment scale under the same bursty demand drift as
+// BenchmarkIncrementalFlow: cold rebuilds the basis from scratch every slot,
+// warm re-optimises the carried spanning-tree basis (incremental mode), and
+// skip replays an unchanged slot. Comparing warm here against
+// BenchmarkIncrementalFlow/warm is the engine-vs-engine headline: pivots on
+// a carried basis vs SSP re-routing the changed delta.
+func BenchmarkSimplexColdVsWarm(b *testing.B) {
+	for _, mode := range []string{"cold", "warm", "skip"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			p := benchCachingProblem(31, 40, 20, 5)
+			base := make([]float64, len(p.Requests))
+			for l := range p.Requests {
+				base[l] = p.Requests[l].Volume
+			}
+			rng := rand.New(rand.NewSource(32))
+			ws := caching.NewWorkspace()
+			if err := ws.SetFlowEngine(caching.FlowEngineSimplex); err != nil {
+				b.Fatal(err)
+			}
+			ws.EnableIncremental(mode != "cold")
+			if _, err := p.SolveLPFlowWS(ws); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode != "skip" {
+					driftBenchVolumes(rng, p, base)
+				}
+				if _, err := p.SolveLPFlowWS(ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkIncrementalExact measures the dense-simplex path at its dispatch
 // scale under cost-only drift (delays move, volumes fixed, so the constraint
 // matrix stays bitwise identical and the warm path can reuse the previous

@@ -46,7 +46,8 @@ func TestChaosKillAndRestoreMatrix(t *testing.T) {
 		{"feedback", "feedback:0.3:0.3"},
 		{"combined", "regional:0.2:2,feedback:0.2:0.1,spike:0.2:3:2"},
 	}
-	policies := append(append([]string{}, chaosMatrixPolicies...), "OL_GD/incremental")
+	policies := append(append([]string{}, chaosMatrixPolicies...),
+		"OL_GD/incremental", "OL_GD/incremental-simplex")
 	for si, sp := range specs {
 		si, sp := si, sp
 		t.Run(sp.label, func(t *testing.T) {
@@ -106,6 +107,78 @@ func TestChaosKillAndRestoreMatrix(t *testing.T) {
 				if wd != gd {
 					t.Fatalf("%s/%s killed at %d: final state digest %08x != uninterrupted %08x",
 						sp.label, name, kill, gd, wd)
+				}
+			}
+		})
+	}
+}
+
+// TestSimplexWarmResumeDeterministic is the warm-basis bit-identity guard
+// for the network-simplex engine. A checkpoint is a warm-state barrier: the
+// snapshot deliberately excludes the spanning-tree basis, so the restored
+// process solves its first slot cold — and the live process must drop its
+// basis at the same slot (Workspace.ResetWarm -> flow.ResetBasis) for the
+// two solve histories to stay bit-identical. A basis that leaked across the
+// barrier, or a warm pivot sequence that depended on anything but the
+// checkpointed state, shows up here as a diverged tail or digest.
+func TestSimplexWarmResumeDeterministic(t *testing.T) {
+	specs := []struct{ label, spec string }{
+		{"quiet", ""},
+		{"combined", "regional:0.2:2,feedback:0.2:0.1,spike:0.2:3:2"},
+	}
+	for _, sp := range specs {
+		sp := sp
+		t.Run(sp.label, func(t *testing.T) {
+			t.Parallel()
+			for _, kill := range []int{3, 7} {
+				ref := chaosScenario(t, sp.spec)
+				refCell, err := ref.NewCell("OL_GD/incremental-simplex")
+				if err != nil {
+					t.Fatal(err)
+				}
+				driveRounds(t, refCell, kill)
+				payload, err := refCell.Checkpoint()
+				if err != nil {
+					t.Fatalf("kill %d: checkpoint: %v", kill, err)
+				}
+				wantTail := driveRounds(t, refCell, 12-kill)
+				if st := refCell.Status(); st.WarmSolves == 0 {
+					t.Fatalf("kill %d: no warm simplex solves; the identity check is vacuous", kill)
+				}
+				wantFinal, err := refCell.ExportState()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				got := chaosScenario(t, sp.spec)
+				gotCell, err := got.NewCell("OL_GD/incremental-simplex")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := gotCell.RestoreState(payload); err != nil {
+					t.Fatalf("kill %d: restore: %v", kill, err)
+				}
+				gotTail := driveRounds(t, gotCell, 12-kill)
+				for i := range wantTail {
+					if math.Float64bits(gotTail[i]) != math.Float64bits(wantTail[i]) {
+						t.Fatalf("killed at %d: slot %d delay %v != uninterrupted %v — basis barrier leaked",
+							kill, kill+i, gotTail[i], wantTail[i])
+					}
+				}
+				gotFinal, err := gotCell.ExportState()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wd, err := sim.StateDigest(wantFinal)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gd, err := sim.StateDigest(gotFinal)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wd != gd {
+					t.Fatalf("killed at %d: final state digest %08x != uninterrupted %08x", kill, gd, wd)
 				}
 			}
 		})

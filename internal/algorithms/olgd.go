@@ -51,6 +51,12 @@ type OLGDConfig struct {
 	// bit-for-bit, so this is an explicit opt-in rather than the default.
 	// Incompatible with FreshSolves (there is no state to carry).
 	Incremental bool
+	// FlowEngine selects the min-cost-flow algorithm behind the solver
+	// ladder's flow rung ("" or caching.FlowEngineSSP = successive shortest
+	// paths, caching.FlowEngineSimplex = network simplex with a carried
+	// basis). Requires a persistent workspace, so it is incompatible with
+	// FreshSolves.
+	FlowEngine caching.FlowEngine
 }
 
 // DefaultOLGDConfig uses the decaying epsilon_t = c/t schedule with c = 1/4.
@@ -126,9 +132,15 @@ func NewOLGD(cfg OLGDConfig) (*OLGD, error) {
 	if cfg.Incremental && cfg.FreshSolves {
 		return nil, fmt.Errorf("algorithms: OLGD Incremental requires a persistent workspace (FreshSolves is set)")
 	}
+	if cfg.FlowEngine != "" && cfg.FreshSolves {
+		return nil, fmt.Errorf("algorithms: OLGD FlowEngine requires a persistent workspace (FreshSolves is set)")
+	}
 	if !cfg.FreshSolves {
 		o.ws = caching.NewWorkspace()
 		o.ws.EnableIncremental(cfg.Incremental)
+		if err := o.ws.SetFlowEngine(cfg.FlowEngine); err != nil {
+			return nil, fmt.Errorf("algorithms: OLGD: %w", err)
+		}
 	}
 	return o, nil
 }

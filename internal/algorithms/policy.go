@@ -216,6 +216,15 @@ func recordSolve(o *obs.Observer, policy string, stats caching.SolveStats) {
 	if stats.Rerouted > 0 {
 		o.Add("flow.rerouted_requests", int64(stats.Rerouted))
 	}
+	// Network-simplex engine economics: basis exchanges per solve and how
+	// often the carried basis had to be rebuilt from scratch.
+	if stats.Pivots > 0 {
+		o.Add("flow.pivots", int64(stats.Pivots))
+		o.ObserveWith("flow.pivots_per_solve", SolverCountBuckets, float64(stats.Pivots))
+	}
+	if stats.BasisRebuilt {
+		o.Inc("flow.basis_rebuilds")
+	}
 	if stats.Fallbacks > 0 {
 		o.Add("solve.fallbacks", int64(stats.Fallbacks))
 		o.AddL("solve.fallbacks_by", int64(stats.Fallbacks),

@@ -189,6 +189,15 @@ type SolveStats struct {
 	// Rerouted counts the requests whose changed demand the flow repair path
 	// evicted and re-routed (WarmStarted, flow backend).
 	Rerouted int
+	// Pivots is the network-simplex basis-exchange count (flow backend with
+	// FlowEngineSimplex; 0 otherwise). The per-slot analogue of Iterations'
+	// SSP augmentations, surfaced separately so the pivots-vs-phases win is
+	// measurable.
+	Pivots int
+	// BasisRebuilt reports the simplex solve built a fresh spanning-tree basis
+	// instead of re-optimising the carried one (always true on cold solves;
+	// true on a warm solve only when the warm attempt was abandoned).
+	BasisRebuilt bool
 	// Fallbacks counts the degradation-ladder rungs that failed before this
 	// solve succeeded (0 = the primary backend solved it).
 	Fallbacks int
@@ -230,6 +239,22 @@ func (a *Assignment) Instances(p *Problem) map[[2]int]bool {
 	return out
 }
 
+// FlowEngine selects the algorithm SolveLPFlowWS runs on the lowered
+// min-cost-flow instance. Both engines solve the identical relaxation to the
+// identical optimal cost; they differ in how they re-optimise across slots.
+type FlowEngine string
+
+const (
+	// FlowEngineSSP is successive shortest paths (flow.MinCostFlowWS and its
+	// incremental resume/restart variants) — the default, one Dijkstra per
+	// augmenting-path cost.
+	FlowEngineSSP FlowEngine = "ssp"
+	// FlowEngineSimplex is the primal network simplex
+	// (flow.MinCostFlowSimplexWS): a spanning-tree basis carried across slots,
+	// so a drifting instance re-optimises in a handful of pivots.
+	FlowEngineSimplex FlowEngine = "simplex"
+)
+
 // _exactVarLimit bounds the |R|*|BS| product for which the dense simplex is
 // used; beyond it SolveLP switches to the flow reformulation. The dense
 // tableau costs O((L+N+LN)^2) memory and cubic-ish pivoting time, so only
@@ -255,13 +280,14 @@ const _zeroCapOverload = 100
 // solve on the same workspace.
 type Workspace struct {
 	// Flow backend state.
-	flowWS  *flow.Workspace
-	graph   *flow.Graph
-	graphL  int
-	graphN  int
-	srcIDs  []int // src -> request edge handle per request
-	asgIDs  []int // request -> station edge handles, flattened l*N+i
-	sinkIDs []int // station -> sink edge handle per station
+	flowEngine FlowEngine // "" = FlowEngineSSP
+	flowWS     *flow.Workspace
+	graph      *flow.Graph
+	graphL     int
+	graphN     int
+	srcIDs     []int // src -> request edge handle per request
+	asgIDs     []int // request -> station edge handles, flattened l*N+i
+	sinkIDs    []int // station -> sink edge handle per station
 
 	// Exact (simplex) backend state.
 	lpWS       *lp.Workspace
@@ -324,6 +350,29 @@ func (ws *Workspace) EnableIncremental(on bool) {
 // Incremental reports whether EnableIncremental is on.
 func (ws *Workspace) Incremental() bool { return ws.incremental }
 
+// SetFlowEngine selects the algorithm behind SolveLPFlowWS on this workspace.
+// The empty string means FlowEngineSSP (the default). Switching engines
+// mid-stream is safe: each engine carries its own warm state and falls back
+// to a cold solve when that state is missing or stale.
+func (ws *Workspace) SetFlowEngine(e FlowEngine) error {
+	switch e {
+	case "", FlowEngineSSP, FlowEngineSimplex:
+		ws.flowEngine = e
+		return nil
+	default:
+		return fmt.Errorf("caching: unknown flow engine %q (want %q or %q)",
+			e, FlowEngineSSP, FlowEngineSimplex)
+	}
+}
+
+// GetFlowEngine reports the engine SolveLPFlowWS will use.
+func (ws *Workspace) GetFlowEngine() FlowEngine {
+	if ws.flowEngine == "" {
+		return FlowEngineSSP
+	}
+	return ws.flowEngine
+}
+
 // ResetWarm drops all cross-slot incremental carryover — the cached
 // problem fingerprint/solution and the simplex basis — without changing
 // whether incremental mode is enabled: the next solve runs cold and warm
@@ -334,6 +383,7 @@ func (ws *Workspace) Incremental() bool { return ws.incremental }
 func (ws *Workspace) ResetWarm() {
 	ws.prevKind = ""
 	ws.lpWS.ResetWarmStart()
+	ws.flowWS.ResetBasis()
 }
 
 // noteSolved snapshots the solved problem's inputs for the next slot's
@@ -662,12 +712,13 @@ func (p *Problem) SolveLPFlowWS(ws *Workspace) (*Fractional, error) {
 	if ws == nil {
 		ws = NewWorkspace()
 	}
+	if ws.GetFlowEngine() == FlowEngineSimplex {
+		return p.solveLPFlowSimplexWS(ws)
+	}
 	L, N, K := len(p.Requests), p.NumStations, p.NumServices
 
 	src := 0
 	sink := 1 + L + N
-	reqNode := func(l int) int { return 1 + l }
-	bsNode := func(i int) int { return 1 + L + i }
 
 	warmFellBack := false
 	if ws.incremental && ws.prevKind == SolverFlow && ws.graph != nil &&
@@ -681,71 +732,9 @@ func (p *Problem) SolveLPFlowWS(ws *Workspace) (*Fractional, error) {
 	}
 	ws.prevKind = ""
 
-	reused := ws.graph != nil && ws.graphL == L && ws.graphN == N
-	g := ws.graph
-	totalSupply := 0.0
-	if reused {
-		// Same topology: rewrite capacities and costs on the recorded edge
-		// handles (SetEdge also zeroes the carried flow).
-		for l := 0; l < L; l++ {
-			supply := p.Requests[l].Volume * p.CUnit
-			totalSupply += supply
-			if err := g.SetEdge(ws.srcIDs[l], supply, 0); err != nil {
-				return nil, err
-			}
-			k := p.Requests[l].Service
-			for i := 0; i < N; i++ {
-				// Cost per compute unit so a full assignment costs
-				// AssignCost + amortised instantiation.
-				perUnit := (p.AssignCost(l, i) + p.InstDelayMS[i][k]) / supply
-				if err := g.SetEdge(ws.asgIDs[l*N+i], supply, perUnit); err != nil {
-					return nil, err
-				}
-			}
-		}
-		for i := 0; i < N; i++ {
-			if err := g.SetEdge(ws.sinkIDs[i], p.CapacityMHz[i], 0); err != nil {
-				return nil, err
-			}
-		}
-	} else {
-		if g == nil {
-			g = flow.NewGraph(2 + L + N)
-			ws.graph = g
-		} else {
-			g.Reset(2 + L + N)
-		}
-		ws.srcIDs = growIDs(ws.srcIDs, L)
-		ws.asgIDs = growIDs(ws.asgIDs, L*N)
-		ws.sinkIDs = growIDs(ws.sinkIDs, N)
-		for l := 0; l < L; l++ {
-			supply := p.Requests[l].Volume * p.CUnit
-			totalSupply += supply
-			id, err := g.AddEdge(src, reqNode(l), supply, 0)
-			if err != nil {
-				return nil, err
-			}
-			ws.srcIDs[l] = id
-			k := p.Requests[l].Service
-			for i := 0; i < N; i++ {
-				// Cost per compute unit so a full assignment costs
-				// AssignCost + amortised instantiation.
-				perUnit := (p.AssignCost(l, i) + p.InstDelayMS[i][k]) / supply
-				id, err := g.AddEdge(reqNode(l), bsNode(i), supply, perUnit)
-				if err != nil {
-					return nil, err
-				}
-				ws.asgIDs[l*N+i] = id
-			}
-		}
-		for i := 0; i < N; i++ {
-			id, err := g.AddEdge(bsNode(i), sink, p.CapacityMHz[i], 0)
-			if err != nil {
-				return nil, err
-			}
-			ws.sinkIDs[i] = id
-		}
-		ws.graphL, ws.graphN = L, N
+	g, totalSupply, reused, err := p.lowerFlowGraph(ws)
+	if err != nil {
+		return nil, err
 	}
 
 	flowRes, err := g.MinCostFlowWS(src, sink, totalSupply, ws.flowWS)
@@ -766,6 +755,142 @@ func (p *Problem) SolveLPFlowWS(ws *Workspace) (*Fractional, error) {
 	}
 	p.extractFlow(ws, frac)
 	// Recompute the objective in LP terms (y = max x, not amortised).
+	frac.Objective = p.fracObjective(frac)
+	ws.noteSolved(p, SolverFlow, frac.Objective)
+	return frac, nil
+}
+
+// lowerFlowGraph builds (or, when the cached topology matches, rewrites in
+// place) the min-cost-flow lowering of p on the workspace graph: source ->
+// request edges carrying rho_l*C_unit, request -> station edges priced per
+// compute unit, station -> sink edges bounded by capacity. Both flow engines
+// consume the identical lowering.
+func (p *Problem) lowerFlowGraph(ws *Workspace) (g *flow.Graph, totalSupply float64, reused bool, err error) {
+	L, N := len(p.Requests), p.NumStations
+	src := 0
+	sink := 1 + L + N
+	reqNode := func(l int) int { return 1 + l }
+	bsNode := func(i int) int { return 1 + L + i }
+
+	reused = ws.graph != nil && ws.graphL == L && ws.graphN == N
+	g = ws.graph
+	if reused {
+		// Same topology: rewrite capacities and costs on the recorded edge
+		// handles (SetEdge also zeroes the carried flow).
+		for l := 0; l < L; l++ {
+			supply := p.Requests[l].Volume * p.CUnit
+			totalSupply += supply
+			if err := g.SetEdge(ws.srcIDs[l], supply, 0); err != nil {
+				return nil, 0, false, err
+			}
+			k := p.Requests[l].Service
+			for i := 0; i < N; i++ {
+				// Cost per compute unit so a full assignment costs
+				// AssignCost + amortised instantiation.
+				perUnit := (p.AssignCost(l, i) + p.InstDelayMS[i][k]) / supply
+				if err := g.SetEdge(ws.asgIDs[l*N+i], supply, perUnit); err != nil {
+					return nil, 0, false, err
+				}
+			}
+		}
+		for i := 0; i < N; i++ {
+			if err := g.SetEdge(ws.sinkIDs[i], p.CapacityMHz[i], 0); err != nil {
+				return nil, 0, false, err
+			}
+		}
+	} else {
+		if g == nil {
+			g = flow.NewGraph(2 + L + N)
+			ws.graph = g
+		} else {
+			g.Reset(2 + L + N)
+		}
+		ws.srcIDs = growIDs(ws.srcIDs, L)
+		ws.asgIDs = growIDs(ws.asgIDs, L*N)
+		ws.sinkIDs = growIDs(ws.sinkIDs, N)
+		for l := 0; l < L; l++ {
+			supply := p.Requests[l].Volume * p.CUnit
+			totalSupply += supply
+			id, err := g.AddEdge(src, reqNode(l), supply, 0)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			ws.srcIDs[l] = id
+			k := p.Requests[l].Service
+			for i := 0; i < N; i++ {
+				// Cost per compute unit so a full assignment costs
+				// AssignCost + amortised instantiation.
+				perUnit := (p.AssignCost(l, i) + p.InstDelayMS[i][k]) / supply
+				id, err := g.AddEdge(reqNode(l), bsNode(i), supply, perUnit)
+				if err != nil {
+					return nil, 0, false, err
+				}
+				ws.asgIDs[l*N+i] = id
+			}
+		}
+		for i := 0; i < N; i++ {
+			id, err := g.AddEdge(bsNode(i), sink, p.CapacityMHz[i], 0)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			ws.sinkIDs[i] = id
+		}
+		ws.graphL, ws.graphN = L, N
+	}
+	return g, totalSupply, reused, nil
+}
+
+// solveLPFlowSimplexWS is SolveLPFlowWS on the network-simplex engine. The
+// lowering is identical to the SSP path; what differs is the cross-slot warm
+// state — a spanning-tree basis instead of carried flow plus potentials. In
+// incremental mode an unchanged slot still skips outright, and any changed
+// slot re-optimises the carried basis (flow.MinCostFlowSimplexWarmWS), which
+// handles its own staleness: a topology change or unusable restored tree
+// falls back to a cold basis rebuild internally, reported via
+// Stats.BasisRebuilt.
+func (p *Problem) solveLPFlowSimplexWS(ws *Workspace) (*Fractional, error) {
+	L, N, K := len(p.Requests), p.NumStations, p.NumServices
+	src, sink := 0, 1+L+N
+
+	warmEligible := false
+	if ws.incremental && ws.prevKind == SolverFlow && ws.graph != nil &&
+		ws.graphL == L && ws.graphN == N {
+		if ws.unchangedSince(p) {
+			return ws.skippedResult(SolverFlow, "unchanged", L*N, L+N), nil
+		}
+		warmEligible = true
+	}
+	ws.prevKind = ""
+
+	g, totalSupply, reused, err := p.lowerFlowGraph(ws)
+	if err != nil {
+		return nil, err
+	}
+
+	var flowRes flow.Result
+	if warmEligible {
+		flowRes, err = g.MinCostFlowSimplexWarmWS(src, sink, totalSupply, ws.flowWS)
+	} else {
+		flowRes, err = g.MinCostFlowSimplexWS(src, sink, totalSupply, ws.flowWS)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("caching: flow relaxation (capacity %v < demand %v?): %w",
+			sum(p.CapacityMHz), totalSupply, err)
+	}
+
+	frac := ws.result(L, N, K)
+	frac.Stats = SolveStats{
+		Solver:          SolverFlow,
+		Iterations:      flowRes.Pivots,
+		Pivots:          flowRes.Pivots,
+		BasisRebuilt:    flowRes.BasisRebuilt,
+		Variables:       L * N,
+		Constraints:     L + N,
+		WorkspaceReused: reused,
+		WarmStarted:     flowRes.WarmStarted,
+		WarmFallback:    warmEligible && !flowRes.WarmStarted,
+	}
+	p.extractFlow(ws, frac)
 	frac.Objective = p.fracObjective(frac)
 	ws.noteSolved(p, SolverFlow, frac.Objective)
 	return frac, nil

@@ -167,6 +167,15 @@ type Result struct {
 	// CanceledCycles counts negative residual cycles the resume path canceled
 	// to restore optimality of the carried flow after cost drift.
 	CanceledCycles int
+	// Pivots counts network-simplex basis exchanges — the simplex solver's
+	// unit of work, the counterpart of Augmentations on the SSP path. It
+	// includes any pivots spent on a warm attempt that was later abandoned.
+	Pivots int
+	// BasisRebuilt reports the simplex solve built its spanning-tree basis
+	// from scratch (every cold solve, plus warm solves whose carried basis
+	// was unusable — shape drift, infeasible restored tree flows, or a warm
+	// pivot budget blow-up).
+	BasisRebuilt bool
 }
 
 // ErrDisconnected is returned by MinCostFlow when the requested flow value
@@ -177,6 +186,13 @@ var ErrDisconnected = errors.New("flow: requested flow not routable")
 // is not cost-optimal for its value and the cycle-canceling repair could not
 // restore optimality within its budget. Callers must rebuild and solve cold.
 var ErrNegativeCycle = errors.New("flow: carried flow not optimal (negative residual cycle)")
+
+// ErrPivotLimit is returned by the network-simplex solver when a cold solve
+// exhausts its pivot budget before reaching optimality — a termination
+// backstop that should be unreachable on well-posed instances (degenerate
+// pivots are bounded by the strongly-feasible-tree rule plus Bland's
+// fallback). Callers treat it like any other solver failure and degrade.
+var ErrPivotLimit = errors.New("flow: simplex pivot budget exhausted")
 
 const _eps = 1e-9
 
@@ -254,6 +270,10 @@ type Workspace struct {
 
 	warmPot  []float64
 	haveWarm bool
+
+	// spx is the network-simplex basis (spanning tree, arc states, node
+	// potentials) carried between MinCostFlowSimplexWS solves; see simplex.go.
+	spx spxBasis
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use.
@@ -281,8 +301,19 @@ func (ws *Workspace) ensure(n int) {
 	ws.heap = ws.heap[:0]
 }
 
-// Reset drops any carried-over potentials (but keeps the buffers).
-func (ws *Workspace) Reset() { ws.haveWarm = false }
+// Reset drops any carried-over potentials and the carried simplex basis (but
+// keeps the buffers).
+func (ws *Workspace) Reset() {
+	ws.haveWarm = false
+	ws.spx.have = false
+}
+
+// ResetBasis drops only the carried network-simplex basis, forcing the next
+// simplex solve to rebuild from the artificial tree. The persistence layer
+// uses it as the warm-state barrier: snapshots exclude solver workspaces, so
+// resetting the live process at a checkpoint keeps its solve history
+// bit-identical to a restored one.
+func (ws *Workspace) ResetBasis() { ws.spx.have = false }
 
 // MinCostFlow sends up to want units (use math.Inf(1) for max-flow) from s to
 // t at minimum total cost, augmenting along successive shortest paths in

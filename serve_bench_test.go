@@ -36,13 +36,17 @@ func newBenchCellPool(b *testing.B, n int, seed int64, policy string) []*Cell {
 // The cold sub-benchmark re-solves every slot from scratch (the pre-warm
 // serving path); incremental runs the same pool with warm-started solves
 // (mecd -incremental), so the ratio of their decisions/s is the serving-
-// layer payoff of carrying solver state across slots. Cells outlive their
+// layer payoff of carrying solver state across slots. The simplex pair runs
+// the same ladder on the network-simplex flow engine (mecd -flow-engine=
+// simplex), cold and with the warm spanning-tree basis. Cells outlive their
 // traces via the horizon wrap, so repeated bench iterations keep advancing
 // the same pool.
 func BenchmarkDecisionServer64Cells(b *testing.B) {
 	for _, mode := range []struct{ name, policy string }{
 		{"cold", "OL_GD"},
 		{"incremental", "OL_GD/incremental"},
+		{"simplex", "OL_GD/simplex"},
+		{"incremental-simplex", "OL_GD/incremental-simplex"},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			benchDecisionServer64Cells(b, mode.policy)
